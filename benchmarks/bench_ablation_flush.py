@@ -1,0 +1,90 @@
+"""Ablation: the cache-flush mechanism.
+
+The flush mechanism is the paper's answer to unbounded cache growth for an
+indefinitely growing database: every ``f`` steps exactly ``s`` records are
+synchronized at zero privacy cost.  This bench runs DP-Timer and DP-ANT with
+the flush on and off on a bursty workload (long quiet stretches after bursts,
+the worst case for gap draining) and reports the gap/overhead trade-off.
+
+Expected shape: with the flush disabled the maximum logical gap (and the
+residual gap once arrivals stop) is larger; with the flush enabled the gap is
+bounded and eventually drains to zero, at the price of extra dummy records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit_report
+from repro.core.strategies.flush import FlushPolicy
+from repro.core.strategies.registry import make_strategy
+from repro.edb.records import Record, Schema, make_dummy_record
+from repro.workload.generator import bursty_arrivals
+
+SCHEMA = Schema("events", ("sensor_id", "value"))
+HORIZON = 6_000
+
+
+def _run(strategy_name: str, flush: FlushPolicy, seed: int):
+    rng = np.random.default_rng(seed)
+    arrivals = bursty_arrivals(HORIZON, burst_probability=0.002, burst_length=120, rng=rng)
+    # Quiet tail: the last 1500 steps carry no data at all.
+    arrivals[-1500:] = [False] * 1500
+    strategy = make_strategy(
+        strategy_name,
+        dummy_factory=lambda t: make_dummy_record(SCHEMA, t),
+        rng=np.random.default_rng(seed + 1),
+        epsilon=0.5,
+        period=30,
+        theta=15,
+        flush=flush,
+    )
+    strategy.setup([])
+    max_gap = 0
+    for t, arrived in enumerate(arrivals, start=1):
+        update = (
+            Record(values={"sensor_id": 1, "value": float(t)}, arrival_time=t, table="events")
+            if arrived
+            else None
+        )
+        strategy.step(t, update)
+        max_gap = max(max_gap, strategy.logical_gap)
+    return {
+        "max_gap": max_gap,
+        "final_gap": strategy.logical_gap,
+        "dummies": strategy.synced_dummy_total,
+        "syncs": strategy.sync_count,
+    }
+
+
+def _run_all():
+    flush_on = FlushPolicy(interval=500, size=10)
+    flush_off = FlushPolicy.disabled()
+    return {
+        (name, label): _run(name, policy, seed=11)
+        for name in ("dp-timer", "dp-ant")
+        for label, policy in (("flush-on", flush_on), ("flush-off", flush_off))
+    }
+
+
+def test_ablation_cache_flush(benchmark):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    lines = ["Ablation: cache flush on vs off (bursty workload, quiet tail)", ""]
+    lines.append(f"{'strategy':<10} {'flush':<10} {'max gap':>8} {'final gap':>10} {'dummies':>9} {'syncs':>7}")
+    lines.append("-" * 60)
+    for (name, label), stats in outcomes.items():
+        lines.append(
+            f"{name:<10} {label:<10} {stats['max_gap']:>8} {stats['final_gap']:>10} "
+            f"{stats['dummies']:>9} {stats['syncs']:>7}"
+        )
+    emit_report("ablation_flush", "\n".join(lines))
+
+    for name in ("dp-timer", "dp-ant"):
+        with_flush = outcomes[(name, "flush-on")]
+        without_flush = outcomes[(name, "flush-off")]
+        # The flush drains the cache during the quiet tail.
+        assert with_flush["final_gap"] == 0
+        assert with_flush["final_gap"] <= without_flush["final_gap"]
+        # It pays for that with extra dummy records.
+        assert with_flush["dummies"] >= without_flush["dummies"]

@@ -1,0 +1,78 @@
+"""Ablation: ObliDB storage mode (flat oblivious scans vs Path ORAM).
+
+ObliDB can keep tables as flat arrays scanned obliviously or inside an ORAM.
+DP-Sync is agnostic to that choice; this bench quantifies what the ORAM layer
+costs in physical block I/O for the insert path, which is the part DP-Sync
+exercises (one Update per synchronization).
+
+Expected shape: per inserted record, the ORAM touches O(log N) buckets of
+Z=4 blocks for the path read and the same for the write-back, so the physical
+I/O per record is roughly an order of magnitude above flat storage's single
+append -- while answers and update patterns are identical in both modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit_report
+from repro.edb.oblidb import ObliDB
+from repro.edb.records import Record
+from repro.query.ast import CountQuery
+
+NUM_RECORDS = 2_000
+
+
+def _records():
+    return [
+        Record(
+            values={"pickupID": (i % 265) + 1, "pickTime": i},
+            arrival_time=i,
+            table="YellowCab",
+        )
+        for i in range(NUM_RECORDS)
+    ]
+
+
+def _run_mode(mode: str):
+    edb = ObliDB(storage_mode=mode, oram_capacity=4096, rng=np.random.default_rng(3))
+    records = _records()
+    edb.setup(records[:100])
+    for start in range(100, NUM_RECORDS, 100):
+        edb.update(records[start : start + 100], time=start)
+    answer = edb.query(CountQuery("YellowCab", label="count-all")).answer
+    oram = edb.oram_for("YellowCab")
+    stats = {
+        "answer": answer,
+        "blocks_read": oram.stats.blocks_read if oram else 0,
+        "blocks_written": oram.stats.blocks_written if oram else 0,
+        "stash_peak": oram.stats.stash_peak if oram else 0,
+    }
+    return stats
+
+
+def _run_all():
+    return {mode: _run_mode(mode) for mode in ("flat", "oram")}
+
+
+def test_ablation_oblidb_storage_mode(benchmark):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    lines = ["Ablation: ObliDB flat vs ORAM storage (insert-path physical I/O)", ""]
+    lines.append(f"{'mode':<6} {'answer':>8} {'blocks read':>12} {'blocks written':>15} {'stash peak':>11}")
+    lines.append("-" * 58)
+    for mode, stats in outcomes.items():
+        lines.append(
+            f"{mode:<6} {stats['answer']:>8} {stats['blocks_read']:>12} "
+            f"{stats['blocks_written']:>15} {stats['stash_peak']:>11}"
+        )
+    per_record = outcomes["oram"]["blocks_written"] / NUM_RECORDS
+    lines.append("")
+    lines.append(f"ORAM physical blocks written per inserted record: {per_record:.1f}")
+    emit_report("ablation_oram", "\n".join(lines))
+
+    # Answers are identical regardless of the storage mode.
+    assert outcomes["flat"]["answer"] == outcomes["oram"]["answer"] == NUM_RECORDS
+    # The ORAM pays O(log N) physical blocks per logical insert.
+    assert outcomes["oram"]["blocks_written"] > 10 * NUM_RECORDS
+    assert outcomes["flat"]["blocks_written"] == 0

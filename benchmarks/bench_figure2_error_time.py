@@ -1,0 +1,78 @@
+"""Figure 2: per-query L1 error and QET over time (end-to-end comparison).
+
+Regenerates the ten panels of Figure 2: for each back-end and each query, the
+L1 error series (top row) and the QET series (bottom row) over the month of
+simulated time, for all five synchronization strategies.
+
+Expected shape: SUR/SET errors flat at ~0 (ObliDB) or small noise
+(Crypt-epsilon); OTO error grows linearly with time; DP strategies fluctuate
+inside a bounded band (no error accumulation).  QET curves grow with the
+outsourced data size; SET's grows roughly twice as fast.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_report
+from repro.simulation.reporting import format_figure_series
+
+
+def _series_text(results, queries, value: str) -> str:
+    sections = []
+    for query in queries:
+        series = {}
+        for strategy, result in results.items():
+            points = (
+                result.error_series(query) if value == "error" else result.qet_series(query)
+            )
+            series[strategy] = points
+        label = "L1 error" if value == "error" else "QET (s)"
+        sections.append(
+            format_figure_series(
+                f"{query} {label} over time",
+                series,
+                x_label="time",
+                y_label=label,
+                max_points=12,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def test_figure2_oblidb_error_and_qet(benchmark, oblidb_results):
+    results = benchmark.pedantic(lambda: oblidb_results, rounds=1, iterations=1)
+    queries = ("Q1", "Q2", "Q3")
+    text = (
+        "Figure 2 (c,d,e): ObliDB query error over time\n\n"
+        + _series_text(results, queries, "error")
+        + "\n\nFigure 2 (h,i,j): ObliDB query execution time over time\n\n"
+        + _series_text(results, queries, "qet")
+    )
+    emit_report("figure2_oblidb", text)
+
+    # No error accumulation for the DP strategies: the late-half mean error
+    # must not be dramatically larger than the early-half mean error.
+    for strategy in ("dp-timer", "dp-ant"):
+        errors = [e for _, e in results[strategy].error_series("Q2")]
+        half = len(errors) // 2
+        early = sum(errors[:half]) / max(1, half)
+        late = sum(errors[half:]) / max(1, len(errors) - half)
+        assert late <= max(4.0 * early, early + 30.0)
+    # OTO's error does accumulate.
+    oto_errors = [e for _, e in results["oto"].error_series("Q2")]
+    assert oto_errors[-1] > oto_errors[0]
+
+
+def test_figure2_crypte_error_and_qet(benchmark, crypte_results):
+    results = benchmark.pedantic(lambda: crypte_results, rounds=1, iterations=1)
+    queries = ("Q1", "Q2")
+    text = (
+        "Figure 2 (a,b): Crypt-epsilon query error over time\n\n"
+        + _series_text(results, queries, "error")
+        + "\n\nFigure 2 (f,g): Crypt-epsilon query execution time over time\n\n"
+        + _series_text(results, queries, "qet")
+    )
+    emit_report("figure2_crypte", text)
+
+    # Crypt-epsilon adds DP answer noise, so even SET/SUR show small errors.
+    assert results["set"].mean_l1_error("Q1") >= 0.0
+    assert results["oto"].max_l1_error("Q2") > results["dp-ant"].max_l1_error("Q2")

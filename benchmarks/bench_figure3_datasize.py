@@ -1,0 +1,72 @@
+"""Figure 3: total and dummy outsourced data size over time.
+
+Regenerates the four panels of Figure 3: for each back-end, the total
+outsourced data size (Mb) and the dummy data size (Mb) over time for all five
+strategies.
+
+Expected shape: SET's total size grows linearly with time and ends >= ~2.1x
+the DP strategies'; the DP strategies track SUR closely (within a few percent
+at full scale); OTO stays flat at its initial size; SET's dummy size dwarfs
+the DP strategies' dummy size (>= ~11x in the paper).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import IS_FULL_SCALE, emit_report
+from repro.simulation.reporting import format_figure_series
+
+
+def _size_sections(results, backend: str) -> str:
+    total_series = {}
+    dummy_series = {}
+    for strategy, result in results.items():
+        sizes = result.size_series()
+        total_series[strategy] = [(t, total) for t, total, _ in sizes]
+        dummy_series[strategy] = [(t, dummy) for t, _, dummy in sizes]
+    total_text = format_figure_series(
+        f"{backend}: total outsourced data size (Mb) over time",
+        total_series,
+        x_label="time",
+        y_label="Mb",
+        max_points=12,
+    )
+    dummy_text = format_figure_series(
+        f"{backend}: dummy data size (Mb) over time",
+        dummy_series,
+        x_label="time",
+        y_label="Mb",
+        max_points=12,
+    )
+    return total_text + "\n\n" + dummy_text
+
+
+def _check_shape(results):
+    # On the full workload SET outsources >= ~2.1x DP-Timer's data; DP-ANT's
+    # overhead is larger (Algorithm 3's per-step comparison noise makes it
+    # fire often at eps=0.5 -- see EXPERIMENTS.md), so it is only required to
+    # stay below SET.  Down-scaled smoke runs only assert the ordering.
+    set_factor = {"dp-timer": 1.8 if IS_FULL_SCALE else 1.0, "dp-ant": 1.0}
+    set_total = results["set"].total_data_megabytes()
+    sur_total = results["sur"].total_data_megabytes()
+    for strategy in ("dp-timer", "dp-ant"):
+        dp_total = results[strategy].total_data_megabytes()
+        assert set_total > set_factor[strategy] * dp_total
+        # Dummies can only add data; a small end-of-run logical gap may leave
+        # the DP total marginally below SUR's, hence the 5% tolerance.
+        assert dp_total >= 0.95 * sur_total
+        assert results[strategy].dummy_data_megabytes() < results["set"].dummy_data_megabytes()
+    assert results["oto"].total_data_megabytes() < sur_total
+
+
+def test_figure3_oblidb_sizes(benchmark, oblidb_results):
+    results = benchmark.pedantic(lambda: oblidb_results, rounds=1, iterations=1)
+    emit_report("figure3_oblidb", "Figure 3 (c,d)\n\n" + _size_sections(results, "ObliDB"))
+    _check_shape(results)
+
+
+def test_figure3_crypte_sizes(benchmark, crypte_results):
+    results = benchmark.pedantic(lambda: crypte_results, rounds=1, iterations=1)
+    emit_report(
+        "figure3_crypte", "Figure 3 (a,b)\n\n" + _size_sections(results, "Crypt-epsilon")
+    )
+    _check_shape(results)

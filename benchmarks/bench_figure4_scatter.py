@@ -1,0 +1,54 @@
+"""Figure 4: accuracy-vs-performance scatter of the strategies (query Q2).
+
+Regenerates the two panels of Figure 4: for each back-end, every strategy is
+placed at (mean QET, mean L1 error) for the default query Q2.
+
+Expected shape: SET sits in the lower-right corner (accurate but slow), OTO
+in the upper-left (fast but useless), SUR in the lower-left (ideal but no
+privacy), and the DP strategies cluster near SUR in the lower-left -- the
+paper's "optimized for the dual objectives" observation.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import IS_FULL_SCALE, emit_report
+from repro.analysis.tradeoff import tradeoff_scatter
+
+
+def _scatter_text(scatter, backend):
+    lines = [f"{backend}: mean QET (s) vs mean L1 error for Q2", "-" * 50]
+    lines.append(f"{'strategy':<12} {'mean QET (s)':>14} {'mean L1 error':>16}")
+    for strategy, (qet, err) in scatter.items():
+        lines.append(f"{strategy:<12} {qet:>14.3f} {err:>16.3f}")
+    return "\n".join(lines)
+
+
+def _check_quadrants(scatter):
+    # Ratios that hold at the paper's full workload; smoke runs at smaller
+    # scales only assert the orderings.
+    oto_vs_set_factor = 100.0 if IS_FULL_SCALE else 2.0
+    dp_vs_oto_factor = 50.0 if IS_FULL_SCALE else 2.0
+    sur_qet, sur_err = scatter["sur"]
+    set_qet, set_err = scatter["set"]
+    oto_qet, oto_err = scatter["oto"]
+    assert set_qet > sur_qet                                   # SET pays performance
+    assert oto_err > oto_vs_set_factor * max(set_err, 1e-6)    # OTO pays accuracy
+    assert oto_qet < sur_qet                                   # ... but is fast
+    for strategy in ("dp-timer", "dp-ant"):
+        dp_qet, dp_err = scatter[strategy]
+        assert dp_qet < set_qet                                # DP cheaper than SET
+        assert dp_err < oto_err / dp_vs_oto_factor             # DP far more accurate than OTO
+
+
+def test_figure4_oblidb_scatter(benchmark, oblidb_results):
+    results = benchmark.pedantic(lambda: oblidb_results, rounds=1, iterations=1)
+    scatter = tradeoff_scatter(results, query_name="Q2")
+    emit_report("figure4_oblidb", "Figure 4a\n\n" + _scatter_text(scatter, "ObliDB"))
+    _check_quadrants(scatter)
+
+
+def test_figure4_crypte_scatter(benchmark, crypte_results):
+    results = benchmark.pedantic(lambda: crypte_results, rounds=1, iterations=1)
+    scatter = tradeoff_scatter(results, query_name="Q2")
+    emit_report("figure4_crypte", "Figure 4b\n\n" + _scatter_text(scatter, "Crypt-epsilon"))
+    _check_quadrants(scatter)

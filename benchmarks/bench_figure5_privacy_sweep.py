@@ -1,0 +1,67 @@
+"""Figure 5: accuracy / performance trade-off as the privacy level changes.
+
+Sweeps the privacy budget epsilon over [0.01, 10] for both DP strategies
+(ObliDB back-end, query Q2, all other parameters at their defaults) and
+reports the average L1 error and average QET per epsilon, alongside the
+constant naive-strategy baselines.
+
+Expected shape (paper's Figure 5):
+
+* DP-Timer's error *decreases* as epsilon grows (less noise -> fewer delayed
+  records);
+* DP-ANT's error *increases* as epsilon grows (less comparison noise -> it
+  waits for the full theta records before synchronizing), and both flatten
+  out between epsilon = 1 and 10;
+* both strategies' QET decreases as epsilon grows (fewer dummy records).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import BENCH_QUERY_INTERVAL, BENCH_SCALE, BENCH_SEED, emit_report
+from repro.analysis.tradeoff import privacy_tradeoff_series
+from repro.simulation.experiment import run_privacy_sweep
+from repro.simulation.reporting import format_figure_series
+
+EPSILONS = tuple(
+    float(x)
+    for x in os.environ.get("REPRO_BENCH_EPSILONS", "0.01,0.1,0.5,1.0,5.0,10.0").split(",")
+)
+
+
+def _run_sweep():
+    return run_privacy_sweep(
+        epsilons=EPSILONS,
+        backend="oblidb",
+        scale=BENCH_SCALE,
+        query_interval=BENCH_QUERY_INTERVAL,
+        seed=BENCH_SEED,
+    )
+
+
+def test_figure5_privacy_tradeoff(benchmark):
+    sweep = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    series = privacy_tradeoff_series(sweep, query_name="Q2")
+
+    error_series = {name: data["error"] for name, data in series.items()}
+    qet_series = {name: data["qet"] for name, data in series.items()}
+    text = (
+        "Figure 5a: average L1 error vs privacy parameter epsilon (Q2, ObliDB)\n\n"
+        + format_figure_series("avg L1 error", error_series, x_label="epsilon", y_label="L1")
+        + "\n\nFigure 5b: average QET vs privacy parameter epsilon\n\n"
+        + format_figure_series("avg QET (s)", qet_series, x_label="epsilon", y_label="seconds")
+    )
+    emit_report("figure5_privacy_sweep", text)
+
+    timer_error = dict(series["dp-timer"]["error"])
+    ant_error = dict(series["dp-ant"]["error"])
+    low, high = min(EPSILONS), max(EPSILONS)
+    # DP-Timer: error shrinks as epsilon grows.
+    assert timer_error[low] > timer_error[high]
+    # DP-ANT: error grows (or at least does not shrink dramatically) with epsilon.
+    assert ant_error[high] >= 0.5 * ant_error[low]
+    # Performance: both strategies get cheaper (or no worse) with more budget.
+    for name in ("dp-timer", "dp-ant"):
+        qet = dict(series[name]["qet"])
+        assert qet[high] <= qet[low] * 1.05

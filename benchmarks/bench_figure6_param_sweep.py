@@ -1,0 +1,63 @@
+"""Figure 6: trade-offs from the non-privacy parameters at fixed privacy.
+
+Sweeps the DP-Timer period T and the DP-ANT threshold theta over [1, 1000]
+with epsilon fixed at 0.5 (ObliDB back-end, query Q2) and reports the average
+L1 error and average QET.
+
+Expected shape (paper's Figure 6): the mean query error *increases* with T
+and with theta (the owner waits longer before synchronizing), while the QET
+*decreases* (fewer synchronizations inject fewer dummy records).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import BENCH_QUERY_INTERVAL, BENCH_SCALE, BENCH_SEED, emit_report
+from repro.analysis.tradeoff import parameter_tradeoff_series
+from repro.simulation.experiment import run_parameter_sweep
+from repro.simulation.reporting import format_figure_series
+
+VALUES = tuple(
+    int(x) for x in os.environ.get("REPRO_BENCH_PARAM_VALUES", "1,10,30,100,300,1000").split(",")
+)
+
+
+def _run(strategy: str):
+    return run_parameter_sweep(
+        strategy,
+        values=VALUES,
+        backend="oblidb",
+        scale=BENCH_SCALE,
+        query_interval=BENCH_QUERY_INTERVAL,
+        seed=BENCH_SEED,
+    )
+
+
+def _report_and_check(strategy: str, sweep, parameter_name: str, output_name: str):
+    series = parameter_tradeoff_series(sweep, query_name="Q2")
+    text = (
+        f"Figure 6: avg L1 error vs {parameter_name} ({strategy}, Q2, eps=0.5)\n\n"
+        + format_figure_series("avg L1 error", {strategy: series["error"]},
+                               x_label=parameter_name, y_label="L1")
+        + f"\n\nFigure 6: avg QET vs {parameter_name}\n\n"
+        + format_figure_series("avg QET (s)", {strategy: series["qet"]},
+                               x_label=parameter_name, y_label="seconds")
+    )
+    emit_report(output_name, text)
+
+    error = dict(series["error"])
+    qet = dict(series["qet"])
+    low, high = float(min(VALUES)), float(max(VALUES))
+    assert error[high] > error[low]          # waiting longer -> larger error
+    assert qet[high] <= qet[low] * 1.05      # fewer syncs -> fewer dummies -> no slower
+
+
+def test_figure6_timer_period_sweep(benchmark):
+    sweep = benchmark.pedantic(lambda: _run("dp-timer"), rounds=1, iterations=1)
+    _report_and_check("dp-timer", sweep, "sync interval T", "figure6_timer")
+
+
+def test_figure6_ant_threshold_sweep(benchmark):
+    sweep = benchmark.pedantic(lambda: _run("dp-ant"), rounds=1, iterations=1)
+    _report_and_check("dp-ant", sweep, "threshold theta", "figure6_ant")

@@ -1,0 +1,42 @@
+"""Table 3: leakage groups and corresponding encrypted-database schemes.
+
+Regenerates the classification table and verifies the DP-Sync compatibility
+rule of Section 6 (L-0 and L-DP compatible; L-1 needs padding; L-2 excluded).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_report
+from repro.edb.leakage import (
+    SCHEME_REGISTRY,
+    LeakageClass,
+    compatible_with_dpsync,
+    leakage_group_table,
+)
+from repro.simulation.reporting import format_table3
+
+
+def _build_table3():
+    table = leakage_group_table()
+    compatibility = {scheme.name: compatible_with_dpsync(scheme) for scheme in SCHEME_REGISTRY}
+    return table, compatibility
+
+
+def test_table3_leakage_groups(benchmark):
+    table, compatibility = benchmark.pedantic(_build_table3, rounds=1, iterations=1)
+
+    lines = ["Table 3 -- Leakage groups and example schemes", ""]
+    lines.append(format_table3())
+    lines.append("")
+    lines.append("DP-Sync compatibility per scheme:")
+    for scheme in SCHEME_REGISTRY:
+        marker = "yes" if compatibility[scheme.name] else "no"
+        lines.append(
+            f"  {scheme.name:<28} {scheme.leakage_class.value:<5} compatible: {marker}"
+        )
+    emit_report("table3_leakage", "\n".join(lines))
+
+    assert set(table) == set(LeakageClass)
+    assert all(compatibility[name] for name in table[LeakageClass.L0])
+    assert all(compatibility[name] for name in table[LeakageClass.LDP])
+    assert not any(compatibility[name] for name in table[LeakageClass.L2])

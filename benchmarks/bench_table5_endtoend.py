@@ -1,0 +1,49 @@
+"""Table 5: aggregated statistics of the end-to-end comparison (Section 8.1).
+
+Runs all five synchronization strategies against both back-ends (ObliDB and
+Crypt-epsilon) on the taxi workload and prints the paper's Table 5 layout:
+mean/max L1 error and mean QET per query, mean logical gap, and total/dummy
+outsourced data.  Also recomputes the abstract's headline claims.
+
+Expected shape (paper values for reference):
+
+* SUR/SET errors ~0; OTO errors in the thousands (unbounded growth);
+* DP strategies: bounded errors (tens), logical gap ~3-11 records;
+* SET total data >= ~2.1x the DP strategies'; DP within ~6% of SUR;
+* SET mean QET >= ~2.2x DP on Q1/Q2 and up to ~5.7x on the join Q3.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_report
+from repro.simulation.reporting import format_headline_claims, format_table5
+
+
+def test_table5_oblidb(benchmark, oblidb_results):
+    results = benchmark.pedantic(lambda: oblidb_results, rounds=1, iterations=1)
+    text = format_table5({"ObliDB": results})
+    text += "\n" + format_headline_claims(results)
+    emit_report("table5_oblidb", text)
+
+    dp = ("dp-timer", "dp-ant")
+    for query in ("Q1", "Q2", "Q3"):
+        for strategy in dp:
+            assert results["oto"].mean_l1_error(query) > results[strategy].mean_l1_error(query)
+            assert results["set"].mean_qet(query) > results[strategy].mean_qet(query)
+    for strategy in dp:
+        assert results[strategy].total_data_megabytes() < results["set"].total_data_megabytes()
+
+
+def test_table5_crypte(benchmark, crypte_results):
+    results = benchmark.pedantic(lambda: crypte_results, rounds=1, iterations=1)
+    text = format_table5({"Crypt-epsilon": results})
+    text += "\n" + format_headline_claims(results)
+    emit_report("table5_crypte", text)
+
+    dp = ("dp-timer", "dp-ant")
+    for query in ("Q1", "Q2"):
+        for strategy in dp:
+            assert results["oto"].mean_l1_error(query) > results[strategy].mean_l1_error(query)
+            assert results["set"].mean_qet(query) > results[strategy].mean_qet(query)
+    # Crypt-epsilon injects answer noise, so even SUR/SET have non-zero error.
+    assert results["sur"].mean_l1_error("Q1") > 0.0

@@ -1,0 +1,85 @@
+"""The introduction's IoT scenario: what update timing leaks, and the fix.
+
+An IoT provider backs up smart-building sensor events to an encrypted cloud
+database.  The building admin (who hosts the database) cannot decrypt
+anything, but sees *when* backups arrive.  With the default sync-upon-receipt
+behaviour the backup times are the event times, so the admin can reconstruct
+exactly when people moved through the building.
+
+This example quantifies that attack against every synchronization strategy:
+it replays the same activity trace under SUR / SET / OTO / DP-Timer / DP-ANT
+and reports how well an adversary observing only the update pattern can
+reconstruct the activity timeline (precision / recall / F1), together with
+the utility each strategy retains for the provider's own analysts.
+
+Run with:  python examples/iot_update_leakage.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DPSync, FlushPolicy, ObliDB, Schema
+from repro.analysis.attacks import infer_activity_from_pattern
+
+HORIZON = 12 * 60          # one working day in minutes
+OCCUPANCY_RATE = 0.08      # a sparse stream of movement events
+
+
+def replay(strategy_name: str, activity: list[bool], seed: int):
+    """Run one strategy over the activity trace; return (dpsync, inference)."""
+    schema = Schema(name="sensor_events", attributes=("sensor_id", "floor"))
+    dpsync = DPSync(
+        schema,
+        edb=ObliDB(),
+        strategy=strategy_name,
+        epsilon=0.5,
+        period=30,
+        theta=10,
+        flush=FlushPolicy(interval=240, size=5),
+        rng=np.random.default_rng(seed),
+    )
+    dpsync.start([])
+    rng = np.random.default_rng(seed + 1)
+    for minute, active in enumerate(activity, start=1):
+        update = None
+        if active:
+            update = {"sensor_id": int(rng.integers(0, 12)), "floor": int(rng.integers(1, 6))}
+        dpsync.receive(minute, update)
+    inference = infer_activity_from_pattern(dpsync.update_pattern, activity)
+    return dpsync, inference
+
+
+def main() -> None:
+    rng = np.random.default_rng(2021)
+    activity = list(rng.random(HORIZON) < OCCUPANCY_RATE)
+    total_events = sum(activity)
+    print(f"activity trace: {total_events} sensor events over {HORIZON} minutes\n")
+
+    header = (
+        f"{'strategy':<10} {'precision':>10} {'recall':>8} {'F1':>6} "
+        f"{'logical gap':>12} {'dummies':>8} {'updates':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for strategy in ("sur", "set", "oto", "dp-timer", "dp-ant"):
+        dpsync, inference = replay(strategy, activity, seed=5)
+        print(
+            f"{strategy:<10} {inference.precision:>10.2f} {inference.recall:>8.2f} "
+            f"{inference.f1:>6.2f} {dpsync.logical_gap:>12d} "
+            f"{dpsync.strategy.synced_dummy_total:>8d} "
+            f"{dpsync.strategy.sync_count:>8d}"
+        )
+
+    print()
+    print("Reading the table:")
+    print("  * SUR reconstructs the activity perfectly (F1 = 1.0): update times")
+    print("    are event times.  No privacy.")
+    print("  * SET/OTO defeat the attack but either flood the server with dummy")
+    print("    updates (SET) or abandon all post-setup data (OTO: huge gap).")
+    print("  * The DP strategies collapse the adversary's recall while keeping")
+    print("    the logical gap -- and hence analyst error -- small and bounded.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Exploring the privacy / accuracy / performance trade-off and the theory.
+
+This example reproduces, at a reduced scale, the two "knobs" the paper
+exposes (Sections 8.2 and 8.3) and checks the measured behaviour against the
+analytical bounds of Theorems 6-9:
+
+1. sweep the privacy budget epsilon for DP-Timer and DP-ANT and print the
+   average query error / QET trends (Figure 5's shape);
+2. sweep the non-privacy parameters T and theta at fixed epsilon (Figure 6's
+   shape);
+3. replay DP-Timer and DP-ANT once more and report how often the empirical
+   logical gap stays below the theoretical high-probability bound.
+
+Run with:  python examples/tradeoffs_and_bounds.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bounds import check_ant_bounds, check_timer_bounds
+from repro.analysis.tradeoff import parameter_tradeoff_series, privacy_tradeoff_series
+from repro.simulation.experiment import run_parameter_sweep, run_privacy_sweep
+from repro.workload.nyc_taxi import generate_yellow_cab
+
+SCALE = 0.05           # 5% of June 2020: a couple of seconds per sweep point
+QUERY_INTERVAL = 240
+
+
+def privacy_sweep() -> None:
+    print("=" * 72)
+    print("1. Privacy sweep (Figure 5 shape): epsilon vs mean Q2 error / QET")
+    print("=" * 72)
+    sweep = run_privacy_sweep(
+        epsilons=(0.01, 0.1, 0.5, 1.0, 10.0),
+        scale=SCALE,
+        query_interval=QUERY_INTERVAL,
+    )
+    series = privacy_tradeoff_series(sweep)
+    for strategy, data in series.items():
+        print(f"\n{strategy}:")
+        print(f"  {'epsilon':>8} {'mean L1 error':>15} {'mean QET (s)':>14}")
+        for (eps, err), (_, qet) in zip(data["error"], data["qet"]):
+            print(f"  {eps:>8.3f} {err:>15.2f} {qet:>14.3f}")
+    print(
+        "\nExpected shape: DP-Timer's error falls as epsilon grows, DP-ANT's rises;"
+        "\nboth get (slightly) faster with larger epsilon."
+    )
+
+
+def parameter_sweep() -> None:
+    print()
+    print("=" * 72)
+    print("2. Non-privacy parameter sweep (Figure 6 shape) at epsilon = 0.5")
+    print("=" * 72)
+    for strategy, parameter in (("dp-timer", "T"), ("dp-ant", "theta")):
+        sweep = run_parameter_sweep(
+            strategy, values=(1, 10, 100, 1000), scale=SCALE, query_interval=QUERY_INTERVAL
+        )
+        series = parameter_tradeoff_series(sweep)
+        print(f"\n{strategy} (sweeping {parameter}):")
+        print(f"  {parameter:>8} {'mean L1 error':>15} {'mean QET (s)':>14}")
+        for (value, err), (_, qet) in zip(series["error"], series["qet"]):
+            print(f"  {value:>8.0f} {err:>15.2f} {qet:>14.3f}")
+    print("\nExpected shape: error grows with T/theta, QET shrinks.")
+
+
+def bound_checks() -> None:
+    print()
+    print("=" * 72)
+    print("3. Theorems 6-9: empirical logical gap / size vs analytical bounds")
+    print("=" * 72)
+    workload = generate_yellow_cab(
+        rng=np.random.default_rng(1), horizon=4000, target_records=1700
+    )
+    timer_gap, timer_size = check_timer_bounds(
+        workload, epsilon=0.5, period=30, rng=np.random.default_rng(2)
+    )
+    ant_gap, ant_size = check_ant_bounds(
+        workload, epsilon=0.5, theta=15, rng=np.random.default_rng(3)
+    )
+    for name, gap_checks, size_checks in (
+        ("DP-Timer", timer_gap, timer_size),
+        ("DP-ANT", ant_gap, ant_size),
+    ):
+        gap_ok = sum(1 for c in gap_checks if c.holds)
+        size_ok = sum(1 for c in size_checks if c.holds)
+        print(
+            f"{name:<9} gap bound held at {gap_ok}/{len(gap_checks)} checkpoints; "
+            f"size bound held at {size_ok}/{len(size_checks)}"
+        )
+        sample = gap_checks[len(gap_checks) // 2]
+        print(
+            f"          e.g. t={sample.time}: observed gap excess {sample.observed:.0f} "
+            f"vs bound {sample.bound:.0f}"
+        )
+
+
+def main() -> None:
+    privacy_sweep()
+    parameter_sweep()
+    bound_checks()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Analysis tooling: theoretical-bound checks, trade-off sweeps and attacks.
+
+* :mod:`repro.analysis.bounds` -- compares empirical logical gaps and
+  outsourced sizes against the Theorem 6-9 bounds;
+* :mod:`repro.analysis.tradeoff` -- summarizes privacy/accuracy/performance
+  sweeps into the series plotted in Figures 5 and 6;
+* :mod:`repro.analysis.attacks` -- the update-pattern inference attack from
+  the introduction's IoT example, used to demonstrate what SUR leaks and what
+  the DP strategies prevent.
+"""
+
+from repro.analysis.bounds import BoundCheck, check_ant_bounds, check_timer_bounds
+from repro.analysis.tradeoff import (
+    parameter_tradeoff_series,
+    privacy_tradeoff_series,
+    tradeoff_scatter,
+)
+from repro.analysis.attacks import (
+    OccupancyInference,
+    infer_activity_from_pattern,
+)
+
+__all__ = [
+    "BoundCheck",
+    "OccupancyInference",
+    "check_ant_bounds",
+    "check_timer_bounds",
+    "infer_activity_from_pattern",
+    "parameter_tradeoff_series",
+    "privacy_tradeoff_series",
+    "tradeoff_scatter",
+]

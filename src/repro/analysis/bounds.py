@@ -1,0 +1,193 @@
+"""Empirical-vs-theoretical bound checks (Theorems 6-9).
+
+These helpers replay a strategy over a workload and compare the observed
+logical gap and outsourced data size against the paper's high-probability
+bounds.  They are used by tests (the bounds must hold with at least the
+stated probability) and by the ablation benches (to show how the flush
+mechanism tightens the gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.strategies.dp_ant import DPANTStrategy
+from repro.core.strategies.dp_timer import DPTimerStrategy
+from repro.core.strategies.flush import FlushPolicy
+from repro.dp.theory import (
+    ant_logical_gap_bound,
+    ant_outsourced_bound,
+    timer_logical_gap_bound,
+    timer_outsourced_bound,
+)
+from repro.edb.records import Record, Schema, make_dummy_record
+from repro.workload.stream import GrowingDatabase
+
+__all__ = ["BoundCheck", "check_timer_bounds", "check_ant_bounds"]
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """Outcome of one bound check at one point in time."""
+
+    time: int
+    observed: float
+    bound: float
+    holds: bool
+    detail: str = ""
+
+
+def _replay(
+    strategy_factory: Callable[[Schema], object],
+    workload: GrowingDatabase,
+    observe_times: Sequence[int],
+) -> tuple[list[tuple[int, int, int, int]], object]:
+    """Replay a strategy without an EDB, recording per-time bookkeeping.
+
+    Returns ``(observations, strategy)`` where each observation is
+    ``(time, logical_gap_excess, outsourced_total, logical_size)`` with
+    ``logical_gap_excess`` being the gap minus the records received since the
+    last synchronization (the ``c_t`` term the theorems exclude).
+    """
+    schema = Schema(
+        name=workload.table,
+        attributes=tuple(
+            next(
+                iter(
+                    [r for r in workload.initial]
+                    + [u for u in workload.updates if u is not None]
+                )
+            ).values.keys()
+        ),
+    )
+    strategy = strategy_factory(schema)
+    outsourced = len(strategy.setup(list(workload.initial)))
+    received_since_sync = 0
+    observations: list[tuple[int, int, int, int]] = []
+    observe_set = set(observe_times)
+    for time, update in workload.iter_times():
+        if update is not None:
+            received_since_sync += 1
+        decision = strategy.step(time, update)
+        if decision.should_sync:
+            outsourced += decision.volume
+            received_since_sync = 0
+        if time in observe_set:
+            gap_excess = max(0, strategy.logical_gap - received_since_sync)
+            observations.append(
+                (time, gap_excess, outsourced, workload.logical_size_at(time))
+            )
+    return observations, strategy
+
+
+def check_timer_bounds(
+    workload: GrowingDatabase,
+    epsilon: float = 0.5,
+    period: int = 30,
+    flush: FlushPolicy | None = None,
+    beta: float = 0.05,
+    observe_times: Sequence[int] | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[list[BoundCheck], list[BoundCheck]]:
+    """Check the Theorem 6 (logical gap) and Theorem 7 (size) bounds for DP-Timer.
+
+    Returns ``(gap_checks, size_checks)``.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    flush = flush if flush is not None else FlushPolicy()
+    if observe_times is None:
+        observe_times = [t for t in range(period, workload.horizon + 1, period * 10)]
+
+    def factory(schema: Schema) -> DPTimerStrategy:
+        return DPTimerStrategy(
+            dummy_factory=lambda t, s=schema: make_dummy_record(s, t),
+            epsilon=epsilon,
+            period=period,
+            flush=flush,
+            rng=rng,
+        )
+
+    observations, strategy = _replay(factory, workload, observe_times)
+    gap_checks: list[BoundCheck] = []
+    size_checks: list[BoundCheck] = []
+    for time, gap_excess, outsourced, logical_size in observations:
+        k = max(1, time // period)
+        gap_bound = timer_logical_gap_bound(epsilon, k, beta)
+        gap_checks.append(
+            BoundCheck(
+                time=time,
+                observed=float(gap_excess),
+                bound=gap_bound,
+                holds=gap_excess <= gap_bound,
+                detail=f"k={k}",
+            )
+        )
+        size_bound = timer_outsourced_bound(
+            logical_size, epsilon, k, time, flush.interval, flush.size, beta
+        )
+        size_checks.append(
+            BoundCheck(
+                time=time,
+                observed=float(outsourced),
+                bound=size_bound,
+                holds=outsourced <= size_bound,
+                detail=f"|D_t|={logical_size}",
+            )
+        )
+    return gap_checks, size_checks
+
+
+def check_ant_bounds(
+    workload: GrowingDatabase,
+    epsilon: float = 0.5,
+    theta: int = 15,
+    flush: FlushPolicy | None = None,
+    beta: float = 0.05,
+    observe_times: Sequence[int] | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[list[BoundCheck], list[BoundCheck]]:
+    """Check the Theorem 8 (logical gap) and Theorem 9 (size) bounds for DP-ANT."""
+    rng = rng if rng is not None else np.random.default_rng()
+    flush = flush if flush is not None else FlushPolicy()
+    if observe_times is None:
+        step = max(1, workload.horizon // 20)
+        observe_times = list(range(step, workload.horizon + 1, step))
+
+    def factory(schema: Schema) -> DPANTStrategy:
+        return DPANTStrategy(
+            dummy_factory=lambda t, s=schema: make_dummy_record(s, t),
+            epsilon=epsilon,
+            theta=theta,
+            flush=flush,
+            rng=rng,
+        )
+
+    observations, strategy = _replay(factory, workload, observe_times)
+    gap_checks: list[BoundCheck] = []
+    size_checks: list[BoundCheck] = []
+    for time, gap_excess, outsourced, logical_size in observations:
+        gap_bound = ant_logical_gap_bound(epsilon, max(1, time), beta)
+        gap_checks.append(
+            BoundCheck(
+                time=time,
+                observed=float(gap_excess),
+                bound=gap_bound,
+                holds=gap_excess <= gap_bound,
+            )
+        )
+        size_bound = ant_outsourced_bound(
+            logical_size, epsilon, max(1, time), flush.interval, flush.size, beta
+        )
+        size_checks.append(
+            BoundCheck(
+                time=time,
+                observed=float(outsourced),
+                bound=size_bound,
+                holds=outsourced <= size_bound,
+                detail=f"|D_t|={logical_size}",
+            )
+        )
+    return gap_checks, size_checks

@@ -1,0 +1,66 @@
+"""Trade-off summaries for the sweep experiments (Figures 4-6).
+
+These functions turn the raw sweep outputs of
+:mod:`repro.simulation.experiment` into the (x, y) series the paper plots:
+
+* privacy parameter epsilon vs average L1 error / average QET (Figure 5);
+* non-privacy parameter (T or theta) vs the same metrics (Figure 6);
+* the accuracy-vs-performance scatter of the strategies (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.simulation.results import RunResult
+
+__all__ = [
+    "privacy_tradeoff_series",
+    "parameter_tradeoff_series",
+    "tradeoff_scatter",
+]
+
+
+def privacy_tradeoff_series(
+    sweep: Mapping[str, Mapping[float, RunResult]],
+    query_name: str = "Q2",
+) -> dict[str, dict[str, list[tuple[float, float]]]]:
+    """Figure 5 series: per strategy, epsilon -> (error series, qet series).
+
+    Returns ``{strategy: {"error": [(eps, err)], "qet": [(eps, qet)]}}``.
+    """
+    series: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    for strategy, by_epsilon in sweep.items():
+        error_points: list[tuple[float, float]] = []
+        qet_points: list[tuple[float, float]] = []
+        for epsilon in sorted(by_epsilon):
+            result = by_epsilon[epsilon]
+            error_points.append((epsilon, result.mean_l1_error(query_name)))
+            qet_points.append((epsilon, result.mean_qet(query_name)))
+        series[strategy] = {"error": error_points, "qet": qet_points}
+    return series
+
+
+def parameter_tradeoff_series(
+    sweep: Mapping[int, RunResult],
+    query_name: str = "Q2",
+) -> dict[str, list[tuple[float, float]]]:
+    """Figure 6 series: parameter value -> mean error / mean QET."""
+    error_points: list[tuple[float, float]] = []
+    qet_points: list[tuple[float, float]] = []
+    for value in sorted(sweep):
+        result = sweep[value]
+        error_points.append((float(value), result.mean_l1_error(query_name)))
+        qet_points.append((float(value), result.mean_qet(query_name)))
+    return {"error": error_points, "qet": qet_points}
+
+
+def tradeoff_scatter(
+    results: Mapping[str, RunResult],
+    query_name: str = "Q2",
+) -> dict[str, tuple[float, float]]:
+    """Figure 4 scatter: strategy -> (mean QET, mean L1 error) for one query."""
+    scatter: dict[str, tuple[float, float]] = {}
+    for strategy, result in results.items():
+        scatter[strategy] = (result.mean_qet(query_name), result.mean_l1_error(query_name))
+    return scatter

@@ -1,0 +1,70 @@
+"""DP-Sync core: the paper's primary contribution.
+
+The framework (Figure 1) wires together:
+
+* a **local cache** (:mod:`repro.core.cache`) that temporarily holds records
+  received by the owner,
+* a **synchronization strategy** (:mod:`repro.core.strategies`) that decides
+  *when* to synchronize and *how many* records each synchronization carries,
+* an **owner** (:mod:`repro.core.owner`) that runs the EDB protocols when the
+  strategy signals,
+* an **analyst** (:mod:`repro.core.analyst`) that issues queries,
+* the **update-pattern** abstraction and its DP accounting
+  (:mod:`repro.core.update_pattern`, :mod:`repro.core.accountant`),
+* the evaluation **metrics** of Section 4.5 (:mod:`repro.core.metrics`).
+
+:class:`repro.core.framework.DPSync` is the top-level entry point most users
+want; see ``examples/quickstart.py``.
+"""
+
+from repro.core.cache import CacheMode, LocalCache
+from repro.core.update_pattern import UpdateEvent, UpdatePattern
+from repro.core.metrics import (
+    dummy_overhead,
+    logical_gap,
+    query_error,
+)
+from repro.core.strategies import (
+    DPANTStrategy,
+    DPTimerStrategy,
+    FlushPolicy,
+    OTOStrategy,
+    SETStrategy,
+    SURStrategy,
+    SyncDecision,
+    SyncStrategy,
+    make_strategy,
+    perturb,
+)
+from repro.core.owner import Owner
+from repro.core.analyst import Analyst
+from repro.core.framework import DPSync
+from repro.core.accountant import (
+    ant_update_pattern_guarantee,
+    timer_update_pattern_guarantee,
+)
+
+__all__ = [
+    "Analyst",
+    "CacheMode",
+    "DPANTStrategy",
+    "DPSync",
+    "DPTimerStrategy",
+    "FlushPolicy",
+    "LocalCache",
+    "OTOStrategy",
+    "Owner",
+    "SETStrategy",
+    "SURStrategy",
+    "SyncDecision",
+    "SyncStrategy",
+    "UpdateEvent",
+    "UpdatePattern",
+    "ant_update_pattern_guarantee",
+    "dummy_overhead",
+    "logical_gap",
+    "make_strategy",
+    "perturb",
+    "query_error",
+    "timer_update_pattern_guarantee",
+]

@@ -1,0 +1,170 @@
+"""Update-pattern privacy accounting and simulation mechanisms (Table 4).
+
+The security proofs of Theorems 10/11 work by rewriting each DP strategy as a
+mechanism that *outputs the update pattern directly* (the noisy volume at
+each synchronization time) and then composing the pieces:
+
+* ``M_setup``  -- Laplace mechanism on ``|D_0|``           -> eps-DP
+* ``M_update`` -- per-window / per-round noisy counts      -> eps-DP
+  (parallel composition over disjoint data)
+* ``M_flush``  -- fixed (time, volume) outputs             -> 0-DP
+
+This module provides both the closed-form guarantees
+(:func:`timer_update_pattern_guarantee`, :func:`ant_update_pattern_guarantee`)
+and runnable versions of the simulation mechanisms ``M_timer`` / ``M_ANT``
+(:func:`simulate_timer_pattern`, :func:`simulate_ant_pattern`).  The latter
+are used by the statistical privacy tests: they generate update-pattern
+samples from neighboring logical streams and check that the observed
+likelihood ratios respect the ``e^eps`` bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.update_pattern import UpdatePattern
+from repro.dp.composition import PrivacyAccountant, parallel_composition, sequential_composition
+
+__all__ = [
+    "timer_update_pattern_guarantee",
+    "ant_update_pattern_guarantee",
+    "strategy_guarantee_from_accountant",
+    "simulate_timer_pattern",
+    "simulate_ant_pattern",
+]
+
+
+def timer_update_pattern_guarantee(epsilon: float) -> float:
+    """Composed update-pattern guarantee of DP-Timer (Theorem 10).
+
+    ``M_setup`` is eps-DP, ``M_update`` is eps-DP by parallel composition over
+    disjoint windows, ``M_flush`` is 0-DP; setup and update also act on
+    disjoint data, and the flush composes sequentially:
+    ``max(eps, eps) + 0 = eps``.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    setup_eps = epsilon
+    update_eps = parallel_composition([epsilon])
+    flush_eps = 0.0
+    return sequential_composition([parallel_composition([setup_eps, update_eps]), flush_eps])
+
+
+def ant_update_pattern_guarantee(epsilon: float, budget_split: float = 0.5) -> float:
+    """Composed update-pattern guarantee of DP-ANT (Theorem 11).
+
+    Each sparse-vector round is ``eps1``-DP (AboveThreshold) plus an
+    ``eps2``-DP Laplace fetch, i.e. ``eps1 + eps2 = eps`` per round; rounds
+    act on disjoint data, and setup/flush compose as for DP-Timer.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if not 0.0 < budget_split < 1.0:
+        raise ValueError("budget_split must be in (0, 1)")
+    eps1 = epsilon * budget_split
+    eps2 = epsilon * (1.0 - budget_split)
+    per_round = sequential_composition([eps1, eps2])
+    update_eps = parallel_composition([per_round])
+    return sequential_composition([parallel_composition([epsilon, update_eps]), 0.0])
+
+
+def strategy_guarantee_from_accountant(accountant: PrivacyAccountant) -> float:
+    """The composed guarantee of a concrete strategy run (from its spends)."""
+    return accountant.total_epsilon()
+
+
+# ---------------------------------------------------------------------------
+# Simulation mechanisms of Table 4
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _PatternParams:
+    epsilon: float
+    flush_interval: int
+    flush_size: int
+
+
+def simulate_timer_pattern(
+    updates: Sequence[bool],
+    initial_size: int,
+    epsilon: float,
+    period: int,
+    flush_interval: int = 2000,
+    flush_size: int = 15,
+    rng: np.random.Generator | None = None,
+) -> UpdatePattern:
+    """Run ``M_timer`` (Table 4) over a logical update stream.
+
+    ``updates[i]`` indicates whether a logical update arrived at time ``i+1``.
+    The returned pattern contains the *noisy volumes* the server would
+    observe; volumes are reported as real numbers rounded to integers and
+    floored at zero, matching the Perturb read semantics.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    pattern = UpdatePattern()
+    scale = 1.0 / epsilon
+    setup_volume = max(0, int(round(initial_size + rng.laplace(0.0, scale))))
+    pattern.record(0, setup_volume)
+    horizon = len(updates)
+    window_count = 0
+    for t in range(1, horizon + 1):
+        if updates[t - 1]:
+            window_count += 1
+        volume = 0
+        synced = False
+        if t % period == 0:
+            noisy = int(round(window_count + rng.laplace(0.0, scale)))
+            if noisy > 0:
+                volume += noisy
+            window_count = 0
+            synced = True
+        if flush_size > 0 and t % flush_interval == 0:
+            volume += flush_size
+            synced = True
+        if synced and volume > 0:
+            pattern.record(t, volume)
+    return pattern
+
+
+def simulate_ant_pattern(
+    updates: Sequence[bool],
+    initial_size: int,
+    epsilon: float,
+    theta: float,
+    flush_interval: int = 2000,
+    flush_size: int = 15,
+    rng: np.random.Generator | None = None,
+) -> UpdatePattern:
+    """Run ``M_ANT`` (Table 4) over a logical update stream."""
+    rng = rng if rng is not None else np.random.default_rng()
+    pattern = UpdatePattern()
+    scale_setup = 1.0 / epsilon
+    eps1 = epsilon / 2.0
+    eps2 = epsilon / 2.0
+    setup_volume = max(0, int(round(initial_size + rng.laplace(0.0, scale_setup))))
+    pattern.record(0, setup_volume)
+    noisy_threshold = theta + rng.laplace(0.0, 2.0 / eps1)
+    count = 0
+    for t in range(1, len(updates) + 1):
+        if updates[t - 1]:
+            count += 1
+        volume = 0
+        synced = False
+        v = rng.laplace(0.0, 4.0 / eps1)
+        if count + v >= noisy_threshold:
+            noisy = int(round(count + rng.laplace(0.0, 1.0 / eps2)))
+            if noisy > 0:
+                volume += noisy
+            noisy_threshold = theta + rng.laplace(0.0, 2.0 / eps1)
+            count = 0
+            synced = True
+        if flush_size > 0 and t % flush_interval == 0:
+            volume += flush_size
+            synced = True
+        if synced and volume > 0:
+            pattern.record(t, volume)
+    return pattern

@@ -1,0 +1,108 @@
+"""The analyst.
+
+The analyst is the trusted querying party of the SOGDB model: it submits
+queries to the server at arbitrary times and receives answers computed over
+the outsourced structure.  For evaluation, the analyst also computes the
+ground-truth answer over the owners' logical databases so that the query
+error metric (Section 4.5.2) can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.metrics import query_error
+from repro.edb.base import EncryptedDatabase, QueryResult
+from repro.edb.records import Record
+from repro.query.ast import Query
+from repro.query.executor import Answer, ground_truth
+
+__all__ = ["Analyst", "AnalystObservation"]
+
+
+@dataclass(frozen=True)
+class AnalystObservation:
+    """One query issuance: answer, ground truth, error and QET."""
+
+    time: int
+    query_name: str
+    answer: Answer
+    true_answer: Answer
+    l1_error: float
+    qet_seconds: float
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the outsourced answer matched the logical answer exactly."""
+        return self.l1_error == 0.0
+
+
+class Analyst:
+    """Issues queries against an EDB and tracks accuracy against ground truth."""
+
+    def __init__(self, edb: EncryptedDatabase) -> None:
+        self._edb = edb
+        self._observations: list[AnalystObservation] = []
+
+    def query(
+        self,
+        query: Query,
+        logical_tables: Mapping[str, Sequence[Record]],
+        time: int = 0,
+    ) -> AnalystObservation:
+        """Run ``query`` via the EDB's Query protocol and score it.
+
+        Parameters
+        ----------
+        query:
+            The analyst's query.
+        logical_tables:
+            The owners' logical databases, used only to compute the
+            ground-truth answer for the error metric (the analyst is trusted
+            and, in the paper's evaluation, is co-located with the owner).
+        time:
+            Simulation time at which the query is posed.
+        """
+        result: QueryResult = self._edb.query(query, time=time)
+        truth = ground_truth(query, logical_tables)
+        observation = AnalystObservation(
+            time=time,
+            query_name=query.name,
+            answer=result.answer,
+            true_answer=truth,
+            l1_error=query_error(truth, result.answer),
+            qet_seconds=result.qet_seconds,
+        )
+        self._observations.append(observation)
+        return observation
+
+    @property
+    def observations(self) -> tuple[AnalystObservation, ...]:
+        """All query observations collected so far."""
+        return tuple(self._observations)
+
+    def observations_for(self, query_name: str) -> tuple[AnalystObservation, ...]:
+        """Observations for one named query."""
+        return tuple(o for o in self._observations if o.query_name == query_name)
+
+    def mean_l1_error(self, query_name: str | None = None) -> float:
+        """Mean L1 error across observations (optionally for one query)."""
+        selected = self.observations_for(query_name) if query_name else self.observations
+        if not selected:
+            return 0.0
+        return sum(o.l1_error for o in selected) / len(selected)
+
+    def max_l1_error(self, query_name: str | None = None) -> float:
+        """Maximum L1 error across observations (optionally for one query)."""
+        selected = self.observations_for(query_name) if query_name else self.observations
+        if not selected:
+            return 0.0
+        return max(o.l1_error for o in selected)
+
+    def mean_qet(self, query_name: str | None = None) -> float:
+        """Mean query execution time across observations."""
+        selected = self.observations_for(query_name) if query_name else self.observations
+        if not selected:
+            return 0.0
+        return sum(o.qet_seconds for o in selected) / len(selected)

@@ -1,0 +1,50 @@
+"""Evaluation metrics (Section 4.5).
+
+* **Logical gap** ``LG(t)``: records received by the owner but not yet
+  outsourced to the server.
+* **Query error** ``QE(q_t)``: L1 distance between the query answer over the
+  logical database and the answer returned by the outsourced database.
+* **Efficiency**: query execution time (charged by the EDB cost model) and
+  the number/size of outsourced records, including the dummy overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.edb.records import Record
+from repro.query.executor import Answer, answer_l1_distance
+
+__all__ = ["logical_gap", "query_error", "dummy_overhead", "megabytes"]
+
+
+def logical_gap(received: int | Sequence[Record], outsourced_real: int | Iterable[Record]) -> int:
+    """``LG(t) = |D_t| - |D_t ∩ D̂_t|`` -- records received but not outsourced.
+
+    Accepts either raw counts or record collections for both sides.  Because
+    DP-Sync only ever outsources records it has received (append-only, FIFO),
+    the intersection size equals the number of real outsourced records.
+    """
+    received_count = received if isinstance(received, int) else len(list(received))
+    if isinstance(outsourced_real, int):
+        outsourced_count = outsourced_real
+    else:
+        outsourced_count = sum(1 for r in outsourced_real if not r.is_dummy)
+    return max(0, received_count - outsourced_count)
+
+
+def query_error(true_answer: Answer, observed_answer: Answer) -> float:
+    """``QE(q_t)``: L1 distance between the true and the observed answer."""
+    return answer_l1_distance(true_answer, observed_answer)
+
+
+def dummy_overhead(total_outsourced: int, real_outsourced: int) -> int:
+    """Number of dummy records stored on the server."""
+    if real_outsourced > total_outsourced:
+        raise ValueError("real record count cannot exceed the total")
+    return total_outsourced - real_outsourced
+
+
+def megabytes(num_bytes: float) -> float:
+    """Convert bytes to megabytes (paper reports storage in Mb)."""
+    return num_bytes / 1e6

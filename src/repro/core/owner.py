@@ -1,0 +1,154 @@
+"""The data owner.
+
+The owner is the client-side party of the SOGDB model: it receives logical
+updates over time, holds the logical database, consults its synchronization
+strategy every time unit and runs the EDB's Setup/Update protocols when the
+strategy signals.  It also maintains the update-pattern transcript and the
+per-table logical mirror used by the accuracy metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.strategies.base import SyncDecision, SyncStrategy
+from repro.core.update_pattern import UpdatePattern
+from repro.edb.base import EncryptedDatabase
+from repro.edb.records import Record, Schema
+
+__all__ = ["Owner"]
+
+
+class Owner:
+    """Client-side owner of one logical table.
+
+    Parameters
+    ----------
+    schema:
+        Schema of the owned table; records delivered to the owner must carry
+        ``record.table == schema.name``.
+    strategy:
+        The synchronization strategy (``Sync`` of Definition 1).
+    edb:
+        The encrypted database the owner outsources to.  Several owners (one
+        per table) may share one EDB instance, as in the paper's join
+        experiment.
+    """
+
+    def __init__(self, schema: Schema, strategy: SyncStrategy, edb: EncryptedDatabase) -> None:
+        self._schema = schema
+        self._strategy = strategy
+        self._edb = edb
+        self._logical: list[Record] = []
+        self._pattern = UpdatePattern()
+        self._initialized = False
+        self._current_time = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def initialize(self, initial_records: Sequence[Record] | None = None) -> None:
+        """Run the setup phase with the initial database ``D_0``.
+
+        The first owner to initialize against a shared EDB runs the Setup
+        protocol; later owners (additional tables) register their initial
+        outsourcing through Update at time 0, which is observationally
+        equivalent for the update pattern.
+        """
+        if self._initialized:
+            raise RuntimeError("owner already initialized")
+        self._initialized = True
+        initial = list(initial_records or [])
+        for record in initial:
+            self._check_record(record)
+        self._logical.extend(initial)
+        gamma0 = self._strategy.setup(initial)
+        if self._edb.is_setup:
+            result = self._edb.update(gamma0, time=0)
+        else:
+            result = self._edb.setup(gamma0, time=0)
+        self._pattern.record(0, result.total_added)
+
+    def tick(self, time: int, update: Record | None) -> SyncDecision:
+        """Advance one time unit, delivering logical update ``u_t`` (or none)."""
+        if not self._initialized:
+            raise RuntimeError("owner must be initialized before ticking")
+        if time <= self._current_time:
+            raise ValueError(
+                f"time must advance monotonically (got {time} after {self._current_time})"
+            )
+        self._current_time = time
+        if update is not None:
+            self._check_record(update)
+            self._logical.append(update)
+        decision = self._strategy.step(time, update)
+        if decision.should_sync and decision.records:
+            result = self._edb.update(decision.records, time=time)
+            self._pattern.record(time, result.total_added)
+        return decision
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """Schema of the owned table."""
+        return self._schema
+
+    @property
+    def strategy(self) -> SyncStrategy:
+        """The synchronization strategy in use."""
+        return self._strategy
+
+    @property
+    def edb(self) -> EncryptedDatabase:
+        """The encrypted database being outsourced to."""
+        return self._edb
+
+    @property
+    def table(self) -> str:
+        """Name of the owned table."""
+        return self._schema.name
+
+    @property
+    def current_time(self) -> int:
+        """Last time unit processed."""
+        return self._current_time
+
+    @property
+    def logical_database(self) -> tuple[Record, ...]:
+        """All real records received so far (``D_t``)."""
+        return tuple(self._logical)
+
+    @property
+    def logical_size(self) -> int:
+        """``|D_t|``."""
+        return len(self._logical)
+
+    @property
+    def update_pattern(self) -> UpdatePattern:
+        """The server-observable update transcript of this owner."""
+        return self._pattern
+
+    @property
+    def logical_gap(self) -> int:
+        """Records received but not yet outsourced (Section 4.5.2)."""
+        return self._strategy.logical_gap
+
+    @property
+    def outsourced_table_size(self) -> int:
+        """Ciphertexts (real + dummy) currently stored for this owner's table."""
+        return self._edb.table_size(self.table)
+
+    @property
+    def outsourced_dummy_count(self) -> int:
+        """Dummy ciphertexts currently stored for this owner's table."""
+        return self._edb.table_dummy_count(self.table)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _check_record(self, record: Record) -> None:
+        if record.table != self._schema.name:
+            raise ValueError(
+                f"record targets table {record.table!r} but this owner manages "
+                f"{self._schema.name!r}"
+            )
+        self._schema.validate(record.values)

@@ -1,0 +1,41 @@
+"""Synchronization strategies (Section 5).
+
+Naive strategies:
+
+* :class:`SURStrategy` -- synchronize upon receipt (no privacy);
+* :class:`OTOStrategy` -- one-time outsourcing (full privacy, no utility);
+* :class:`SETStrategy` -- synchronize every time unit (full privacy, poor
+  performance).
+
+Differentially-private strategies:
+
+* :class:`DPTimerStrategy` -- Algorithm 1: update every ``T`` steps with a
+  Laplace-perturbed record count;
+* :class:`DPANTStrategy` -- Algorithm 3: update when approximately ``theta``
+  records have accumulated, via the sparse-vector technique.
+
+Both DP strategies use the :func:`perturb` operator (Algorithm 2) and the
+cache-flush mechanism (:class:`FlushPolicy`).
+"""
+
+from repro.core.strategies.base import SyncDecision, SyncStrategy
+from repro.core.strategies.flush import FlushPolicy
+from repro.core.strategies.perturb import perturb
+from repro.core.strategies.naive import OTOStrategy, SETStrategy, SURStrategy
+from repro.core.strategies.dp_timer import DPTimerStrategy
+from repro.core.strategies.dp_ant import DPANTStrategy
+from repro.core.strategies.registry import available_strategies, make_strategy
+
+__all__ = [
+    "DPANTStrategy",
+    "DPTimerStrategy",
+    "FlushPolicy",
+    "OTOStrategy",
+    "SETStrategy",
+    "SURStrategy",
+    "SyncDecision",
+    "SyncStrategy",
+    "available_strategies",
+    "make_strategy",
+    "perturb",
+]

@@ -1,0 +1,55 @@
+"""The ``Perturb`` operator (Algorithm 2).
+
+``Perturb(c, eps, sigma)`` adds ``Lap(1/eps)`` noise to the count ``c`` and
+reads that many records from the local cache, padding with dummy records when
+the cache holds fewer.  A non-positive noisy count releases nothing -- which
+is itself informative-free because the decision depends only on the noise and
+the (already protected) count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cache import LocalCache
+from repro.dp.mechanisms import LaplaceMechanism
+from repro.edb.records import Record
+
+__all__ = ["perturb"]
+
+
+def perturb(
+    count: int,
+    epsilon: float,
+    cache: LocalCache,
+    rng: np.random.Generator,
+    current_time: int = 0,
+) -> list[Record]:
+    """Algorithm 2: fetch a Laplace-perturbed number of records from the cache.
+
+    Parameters
+    ----------
+    count:
+        The true count ``c`` (e.g. records received since the last update).
+    epsilon:
+        Privacy budget of this invocation; the noise scale is ``1/epsilon``.
+    cache:
+        The owner's local cache to read from.
+    rng:
+        Random generator for the Laplace draw.
+    current_time:
+        Time stamped onto any dummy padding records.
+
+    Returns
+    -------
+    list[Record]
+        ``read(cache, round(c + Lap(1/eps)))`` if the noisy count is
+        positive, otherwise an empty list.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    mechanism = LaplaceMechanism(epsilon=epsilon, sensitivity=1.0)
+    noisy_count = mechanism.randomize_count(count, rng)
+    if noisy_count <= 0:
+        return []
+    return cache.read(noisy_count, current_time)

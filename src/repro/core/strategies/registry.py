@@ -1,0 +1,80 @@
+"""Strategy registry / factory.
+
+Experiments refer to strategies by short names (``"sur"``, ``"oto"``,
+``"set"``, ``"dp-timer"``, ``"dp-ant"``).  :func:`make_strategy` instantiates
+them with the appropriate keyword arguments, forwarding only the parameters
+each strategy accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.cache import CacheMode
+from repro.core.strategies.base import SyncStrategy
+from repro.core.strategies.dp_ant import DPANTStrategy
+from repro.core.strategies.dp_timer import DPTimerStrategy
+from repro.core.strategies.flush import FlushPolicy
+from repro.core.strategies.naive import OTOStrategy, SETStrategy, SURStrategy
+from repro.edb.records import Record
+
+__all__ = ["available_strategies", "make_strategy"]
+
+_NAIVE = {
+    "sur": SURStrategy,
+    "oto": OTOStrategy,
+    "set": SETStrategy,
+}
+
+_DP = {
+    "dp-timer": DPTimerStrategy,
+    "dp-ant": DPANTStrategy,
+}
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Names accepted by :func:`make_strategy`."""
+    return tuple(_NAIVE) + tuple(_DP)
+
+
+def make_strategy(
+    name: str,
+    dummy_factory: Callable[[int], Record],
+    rng: np.random.Generator | None = None,
+    epsilon: float = 0.5,
+    period: int = 30,
+    theta: int = 15,
+    flush: FlushPolicy | None = None,
+    cache_mode: CacheMode = CacheMode.FIFO,
+) -> SyncStrategy:
+    """Instantiate a synchronization strategy by name.
+
+    Parameters irrelevant to the chosen strategy (e.g. ``epsilon`` for SUR)
+    are ignored, so experiment sweeps can pass a uniform parameter set.
+    """
+    key = name.lower().replace("_", "-")
+    if key in _NAIVE:
+        return _NAIVE[key](dummy_factory, rng=rng, cache_mode=cache_mode)
+    if key == "dp-timer":
+        return DPTimerStrategy(
+            dummy_factory,
+            epsilon=epsilon,
+            period=period,
+            flush=flush,
+            rng=rng,
+            cache_mode=cache_mode,
+        )
+    if key == "dp-ant":
+        return DPANTStrategy(
+            dummy_factory,
+            epsilon=epsilon,
+            theta=theta,
+            flush=flush,
+            rng=rng,
+            cache_mode=cache_mode,
+        )
+    raise KeyError(
+        f"unknown strategy {name!r}; available: {', '.join(available_strategies())}"
+    )

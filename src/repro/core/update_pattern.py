@@ -1,0 +1,100 @@
+"""Update-pattern leakage (Definition 2).
+
+The update pattern of a SOGDB run is the transcript
+``{(t, |γ_t|) : t where an update occurred}`` -- i.e. *when* the owner ran
+the Update protocol and *how many* ciphertexts each update carried.  It is
+the only update-side information DP-Sync allows the server to observe, and
+the object the differential-privacy guarantee (Definition 5) is stated over.
+
+This module provides the transcript container, helpers for deriving it from
+an EDB's update history, and utilities used by the statistical privacy tests
+(e.g. projecting a pattern onto volumes for a fixed schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["UpdateEvent", "UpdatePattern"]
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One entry of the update pattern: an update of ``volume`` records at ``time``."""
+
+    time: int
+    volume: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("time must be non-negative")
+        if self.volume < 0:
+            raise ValueError("volume must be non-negative")
+
+
+@dataclass
+class UpdatePattern:
+    """The server-observable update transcript of a DP-Sync run."""
+
+    events: list[UpdateEvent] = field(default_factory=list)
+
+    def record(self, time: int, volume: int) -> UpdateEvent:
+        """Append an update event (updates must be recorded in time order)."""
+        if self.events and time < self.events[-1].time:
+            raise ValueError(
+                f"update events must be recorded in time order; got time {time} "
+                f"after {self.events[-1].time}"
+            )
+        event = UpdateEvent(time=time, volume=volume)
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def times(self) -> tuple[int, ...]:
+        """Times at which updates occurred."""
+        return tuple(event.time for event in self.events)
+
+    @property
+    def volumes(self) -> tuple[int, ...]:
+        """Update volumes ``|γ_t|`` in time order."""
+        return tuple(event.volume for event in self.events)
+
+    def total_volume(self) -> int:
+        """Total number of ciphertexts ever outsourced."""
+        return sum(event.volume for event in self.events)
+
+    def volume_at(self, time: int) -> int:
+        """Volume of the update at ``time`` (0 if no update happened then)."""
+        return sum(event.volume for event in self.events if event.time == time)
+
+    def as_tuples(self) -> tuple[tuple[int, int], ...]:
+        """The pattern as ``((t, |γ_t|), ...)`` -- the paper's notation."""
+        return tuple((event.time, event.volume) for event in self.events)
+
+    def volumes_on_schedule(self, schedule: Sequence[int]) -> tuple[int, ...]:
+        """Project volumes onto a fixed schedule of times.
+
+        For strategies with data-independent schedules (SET, DP-Timer, the
+        flush mechanism) the *times* carry no information; the privacy
+        analysis is entirely about the volume sequence.  This helper extracts
+        that sequence for statistical indistinguishability tests.
+        """
+        by_time = {event.time: 0 for event in self.events}
+        for event in self.events:
+            by_time[event.time] += event.volume
+        return tuple(by_time.get(t, 0) for t in schedule)
+
+    @classmethod
+    def from_volumes(cls, pairs: Iterable[tuple[int, int]]) -> "UpdatePattern":
+        """Build a pattern from ``(time, volume)`` pairs."""
+        pattern = cls()
+        for time, volume in sorted(pairs):
+            pattern.record(time, volume)
+        return pattern

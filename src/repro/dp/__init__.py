@@ -1,0 +1,62 @@
+"""Differential-privacy substrate used by DP-Sync.
+
+This package implements the standard DP building blocks the paper relies on:
+
+* :mod:`repro.dp.laplace` -- the Laplace distribution, its tail bounds and the
+  sum-of-Laplace concentration results (Lemma 19, Corollaries 20/21) that back
+  the paper's accuracy/performance theorems.
+* :mod:`repro.dp.mechanisms` -- the Laplace mechanism, the geometric mechanism
+  and the sparse-vector technique (AboveThreshold) used by DP-ANT.
+* :mod:`repro.dp.composition` -- sequential and parallel composition
+  (Lemmas 15/16) and a privacy-budget accountant.
+* :mod:`repro.dp.theory` -- closed-form bounds from Theorems 6-9 and the
+  analytic strategy comparison of Table 2.
+"""
+
+from repro.dp.laplace import (
+    LaplaceDistribution,
+    laplace_sum_tail_bound,
+    laplace_sum_quantile,
+    laplace_tail_bound,
+)
+from repro.dp.mechanisms import (
+    AboveThreshold,
+    GeometricMechanism,
+    LaplaceMechanism,
+)
+from repro.dp.composition import (
+    BudgetExceededError,
+    PrivacyAccountant,
+    PrivacySpend,
+    parallel_composition,
+    sequential_composition,
+)
+from repro.dp.theory import (
+    StrategyBounds,
+    ant_logical_gap_bound,
+    ant_outsourced_bound,
+    strategy_comparison_table,
+    timer_logical_gap_bound,
+    timer_outsourced_bound,
+)
+
+__all__ = [
+    "AboveThreshold",
+    "BudgetExceededError",
+    "GeometricMechanism",
+    "LaplaceDistribution",
+    "LaplaceMechanism",
+    "PrivacyAccountant",
+    "PrivacySpend",
+    "StrategyBounds",
+    "ant_logical_gap_bound",
+    "ant_outsourced_bound",
+    "laplace_sum_quantile",
+    "laplace_sum_tail_bound",
+    "laplace_tail_bound",
+    "parallel_composition",
+    "sequential_composition",
+    "strategy_comparison_table",
+    "timer_logical_gap_bound",
+    "timer_outsourced_bound",
+]

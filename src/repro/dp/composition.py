@@ -1,0 +1,141 @@
+"""Composition theorems and privacy-budget accounting.
+
+The security proofs of DP-Sync (Theorems 10/11 and their Appendix versions
+17/18) decompose the update-pattern mechanism into sub-mechanisms and combine
+them with two classical results:
+
+* **Sequential composition** (Lemma 15): running an ``eps1``-DP and an
+  ``eps2``-DP mechanism on the *same* data is ``(eps1 + eps2)``-DP.
+* **Parallel composition** (Lemma 16): running them on *disjoint* data is
+  ``max(eps1, eps2)``-DP.
+
+:class:`PrivacyAccountant` tracks a sequence of spends tagged with the data
+partition they touch, so the overall guarantee of a strategy run can be
+reported and asserted in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "sequential_composition",
+    "parallel_composition",
+    "PrivacySpend",
+    "PrivacyAccountant",
+    "BudgetExceededError",
+]
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when an accountant is asked to spend more than its budget."""
+
+
+def sequential_composition(epsilons: list[float] | tuple[float, ...]) -> float:
+    """Lemma 15: total budget of mechanisms applied to the same data."""
+    if any(eps < 0 for eps in epsilons):
+        raise ValueError("epsilon values must be non-negative")
+    return float(sum(epsilons))
+
+
+def parallel_composition(epsilons: list[float] | tuple[float, ...]) -> float:
+    """Lemma 16: total budget of mechanisms applied to disjoint data."""
+    if not epsilons:
+        return 0.0
+    if any(eps < 0 for eps in epsilons):
+        raise ValueError("epsilon values must be non-negative")
+    return float(max(epsilons))
+
+
+@dataclass(frozen=True)
+class PrivacySpend:
+    """A single privacy expenditure.
+
+    Attributes
+    ----------
+    epsilon:
+        Budget consumed by the mechanism invocation.
+    partition:
+        Label of the disjoint data partition the mechanism touched.  Spends on
+        the *same* partition compose sequentially; spends on *different*
+        partitions compose in parallel.  DP-Timer, for example, charges every
+        window ``[iT, (i+1)T)`` to its own partition, which is exactly why its
+        overall update-pattern guarantee stays at ``epsilon``.
+    label:
+        Human-readable description (e.g. ``"setup"``, ``"timer-window-3"``).
+    """
+
+    epsilon: float
+    partition: str
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks update-pattern privacy spends for a strategy run.
+
+    The accountant mirrors the composition structure used in the paper's
+    proofs: spends are grouped by partition, summed within a partition
+    (sequential composition) and max-ed across partitions (parallel
+    composition).
+
+    Parameters
+    ----------
+    budget:
+        Optional overall epsilon bound.  When set, :meth:`spend` raises
+        :class:`BudgetExceededError` if the composed guarantee would exceed
+        it.  Strategies use this as an internal sanity check: a correct
+        DP-Timer or DP-ANT run never exceeds its configured epsilon.
+    """
+
+    budget: float | None = None
+    _spends: list[PrivacySpend] = field(default_factory=list, init=False)
+
+    @property
+    def spends(self) -> tuple[PrivacySpend, ...]:
+        """All spends recorded so far (read-only view)."""
+        return tuple(self._spends)
+
+    def spend(self, epsilon: float, partition: str, label: str = "") -> PrivacySpend:
+        """Record a spend of ``epsilon`` against ``partition``."""
+        candidate = PrivacySpend(epsilon=epsilon, partition=partition, label=label)
+        projected = self._compose(self._spends + [candidate])
+        if self.budget is not None and projected > self.budget + 1e-9:
+            raise BudgetExceededError(
+                f"spending {epsilon} on partition {partition!r} would raise the "
+                f"composed guarantee to {projected:.6f} > budget {self.budget}"
+            )
+        self._spends.append(candidate)
+        return candidate
+
+    def per_partition(self) -> dict[str, float]:
+        """Sequentially-composed spend per partition."""
+        totals: dict[str, float] = {}
+        for spend in self._spends:
+            totals[spend.partition] = totals.get(spend.partition, 0.0) + spend.epsilon
+        return totals
+
+    def total_epsilon(self) -> float:
+        """Overall guarantee: parallel composition across partitions."""
+        return self._compose(self._spends)
+
+    def remaining(self) -> float | None:
+        """Remaining budget, or ``None`` when no budget is configured."""
+        if self.budget is None:
+            return None
+        return max(0.0, self.budget - self.total_epsilon())
+
+    def reset(self) -> None:
+        """Forget all recorded spends."""
+        self._spends.clear()
+
+    @staticmethod
+    def _compose(spends: list[PrivacySpend]) -> float:
+        totals: dict[str, float] = {}
+        for spend in spends:
+            totals[spend.partition] = totals.get(spend.partition, 0.0) + spend.epsilon
+        return parallel_composition(tuple(totals.values()))

@@ -1,0 +1,199 @@
+"""Core differential-privacy mechanisms.
+
+DP-Sync's synchronization strategies are built from three classical
+mechanisms:
+
+* the **Laplace mechanism** (used by ``Perturb`` in Algorithm 2 and by the
+  initial setup step of both DP strategies),
+* the **geometric mechanism**, an integer-valued alternative that is useful
+  when the perturbed quantity must stay an integer count (offered as an
+  extension; the paper uses rounded Laplace noise),
+* the **sparse vector technique / AboveThreshold** (the backbone of DP-ANT,
+  Algorithm 3): a stream of noisy counts is compared against a noisy
+  threshold and only the *crossing time* is released.
+
+All mechanisms take an explicit :class:`numpy.random.Generator` so that every
+experiment in the benchmark harness is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "LaplaceMechanism",
+    "GeometricMechanism",
+    "AboveThreshold",
+]
+
+
+@dataclass
+class LaplaceMechanism:
+    """The Laplace mechanism for releasing numeric values.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget spent per invocation of :meth:`randomize`.
+    sensitivity:
+        L1 sensitivity of the value being released (1 for counting queries,
+        which is all DP-Sync needs).
+    """
+
+    epsilon: float
+    sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if self.sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {self.sensitivity}")
+
+    @property
+    def scale(self) -> float:
+        """Laplace scale ``sensitivity / epsilon``."""
+        return self.sensitivity / self.epsilon
+
+    def randomize(self, value: float, rng: np.random.Generator) -> float:
+        """Return ``value + Lap(sensitivity / epsilon)``."""
+        return float(value) + float(rng.laplace(0.0, self.scale))
+
+    def randomize_count(self, count: int, rng: np.random.Generator) -> int:
+        """Return a rounded, possibly-negative noisy count.
+
+        DP-Sync's ``Perturb`` operator rounds the noisy count to an integer
+        before reading that many records from the local cache; negative values
+        are meaningful there (they signal "release nothing"), so no clamping
+        happens here.
+        """
+        return int(round(self.randomize(float(count), rng)))
+
+    def error_quantile(self, beta: float) -> float:
+        """Magnitude ``x`` such that ``Pr[|noise| > x] <= beta``."""
+        if not 0.0 < beta < 1.0:
+            raise ValueError("beta must be in (0, 1)")
+        return self.scale * math.log(1.0 / beta)
+
+
+@dataclass
+class GeometricMechanism:
+    """Two-sided geometric mechanism for integer counts.
+
+    Adds integer noise with ``Pr[Z = z] ∝ alpha^|z|`` where
+    ``alpha = exp(-epsilon / sensitivity)``.  Satisfies epsilon-DP for integer
+    valued queries with the given sensitivity and never produces fractional
+    counts, which makes it a natural ablation of the rounded-Laplace noise the
+    paper uses inside ``Perturb``.
+    """
+
+    epsilon: float
+    sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if self.sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {self.sensitivity}")
+
+    @property
+    def alpha(self) -> float:
+        """The geometric decay parameter ``exp(-epsilon / sensitivity)``."""
+        return math.exp(-self.epsilon / self.sensitivity)
+
+    def sample_noise(self, rng: np.random.Generator) -> int:
+        """Draw a two-sided geometric noise value."""
+        # A two-sided geometric is the difference of two geometric variables.
+        p = 1.0 - self.alpha
+        return int(rng.geometric(p) - rng.geometric(p))
+
+    def randomize_count(self, count: int, rng: np.random.Generator) -> int:
+        """Return ``count`` plus two-sided geometric noise."""
+        return int(count) + self.sample_noise(rng)
+
+
+@dataclass
+class AboveThreshold:
+    """Sparse vector technique (AboveThreshold) as used by DP-ANT.
+
+    The mechanism is initialized with a public threshold ``theta`` and a
+    privacy budget ``epsilon``.  The budget is split exactly as in
+    Algorithm 3 of the paper: the threshold is perturbed with
+    ``Lap(2 / epsilon)`` and every per-step query (count of records received
+    since the last synchronization) is perturbed with ``Lap(4 / epsilon)``.
+    :meth:`step` returns ``True`` when the noisy count crosses the noisy
+    threshold, at which point the threshold is refreshed with new noise.
+
+    Only the *crossing times* are data dependent, which is why the whole
+    stream of comparisons costs a single ``epsilon`` per crossing (the
+    standard sparse-vector argument reproduced in the paper's Theorem 11).
+
+    ``resample_noise`` controls whether the per-step query noise is drawn
+    fresh at every comparison (the algorithm as printed in the paper; the
+    default) or drawn once per threshold period and held until the next
+    crossing.  The held variant fires far less often on sparse streams for
+    small budgets and is provided for the noise-resampling ablation; see
+    EXPERIMENTS.md for the discussion.
+    """
+
+    theta: float
+    epsilon: float
+    resample_noise: bool = True
+    _noisy_threshold: float = field(default=float("nan"), init=False, repr=False)
+    _held_noise: float = field(default=0.0, init=False, repr=False)
+    _initialized: bool = field(default=False, init=False, repr=False)
+    crossings: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if self.theta < 0:
+            raise ValueError(f"theta must be non-negative, got {self.theta}")
+
+    @property
+    def threshold_scale(self) -> float:
+        """Scale of the noise applied to the threshold (``2 / epsilon``)."""
+        return 2.0 / self.epsilon
+
+    @property
+    def query_scale(self) -> float:
+        """Scale of the per-step query noise (``4 / epsilon``)."""
+        return 4.0 / self.epsilon
+
+    @property
+    def noisy_threshold(self) -> float:
+        """The current noisy threshold (NaN before :meth:`reset`)."""
+        return self._noisy_threshold
+
+    def reset(self, rng: np.random.Generator) -> float:
+        """Draw a fresh noisy threshold; returns it for inspection."""
+        self._noisy_threshold = self.theta + float(
+            rng.laplace(0.0, self.threshold_scale)
+        )
+        self._held_noise = float(rng.laplace(0.0, self.query_scale))
+        self._initialized = True
+        return self._noisy_threshold
+
+    def step(self, count: float, rng: np.random.Generator) -> bool:
+        """Compare a (true) running count against the noisy threshold.
+
+        Adds ``Lap(4 / epsilon)`` noise to ``count`` (fresh per step, or the
+        held per-round draw when ``resample_noise`` is false) and returns
+        whether the noisy count reaches the noisy threshold.  On a crossing
+        the threshold is automatically refreshed (as Algorithm 3 does after
+        each synchronization).
+        """
+        if not self._initialized:
+            raise RuntimeError("AboveThreshold.step called before reset()")
+        if self.resample_noise:
+            noise = float(rng.laplace(0.0, self.query_scale))
+        else:
+            noise = self._held_noise
+        noisy_count = float(count) + noise
+        if noisy_count >= self._noisy_threshold:
+            self.crossings += 1
+            self.reset(rng)
+            return True
+        return False

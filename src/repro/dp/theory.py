@@ -1,0 +1,188 @@
+"""Closed-form accuracy/performance bounds (Theorems 6-9, Table 2).
+
+These functions evaluate the paper's analytical guarantees so that the
+benchmark harness can print Table 2 and so that tests can check the empirical
+behaviour of the strategies against theory (the bounds are high-probability
+upper bounds; tests assert the empirical quantities stay below them with the
+expected frequency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dp.laplace import laplace_sum_quantile
+
+__all__ = [
+    "timer_logical_gap_bound",
+    "timer_outsourced_bound",
+    "ant_logical_gap_bound",
+    "ant_outsourced_bound",
+    "flush_dummy_bound",
+    "StrategyBounds",
+    "strategy_comparison_table",
+]
+
+
+def timer_logical_gap_bound(epsilon: float, k: int, beta: float) -> float:
+    """Theorem 6: DP-Timer logical-gap tail bound ``alpha``.
+
+    With probability at least ``1 - beta`` the logical gap at a time where the
+    owner has synchronized ``k`` times is at most
+    ``c + 2/eps * sqrt(k log(1/beta))`` where ``c`` counts records received
+    since the last update.  This function returns the ``alpha`` term only (the
+    data-dependent ``c`` is added by callers).
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if k <= 0:
+        raise ValueError("k must be a positive integer")
+    return laplace_sum_quantile(k, 1.0 / epsilon, beta)
+
+
+def flush_dummy_bound(t: int, flush_interval: int, flush_size: int) -> int:
+    """The ``eta = s * floor(t / f)`` term contributed by the cache flush."""
+    if flush_interval <= 0:
+        raise ValueError("flush_interval must be positive")
+    if flush_size < 0:
+        raise ValueError("flush_size must be non-negative")
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    return flush_size * (t // flush_interval)
+
+
+def timer_outsourced_bound(
+    logical_size: int,
+    epsilon: float,
+    k: int,
+    t: int,
+    flush_interval: int,
+    flush_size: int,
+    beta: float,
+) -> float:
+    """Theorem 7: upper bound on ``|DS_t|`` under DP-Timer.
+
+    ``|DS_t| <= |D_t| + alpha + eta`` with probability at least ``1 - beta``,
+    where ``alpha = 2/eps sqrt(k log 1/beta)`` and ``eta = s floor(t/f)``.
+    """
+    alpha = timer_logical_gap_bound(epsilon, k, beta)
+    eta = flush_dummy_bound(t, flush_interval, flush_size)
+    return float(logical_size) + alpha + eta
+
+
+def ant_logical_gap_bound(epsilon: float, t: int, beta: float) -> float:
+    """Theorem 8: DP-ANT logical-gap tail bound ``alpha``.
+
+    ``alpha = 16 (log t + log(2 / beta)) / epsilon``; valid for ``t >= 1``.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if t < 1:
+        raise ValueError("t must be at least 1")
+    if not 0.0 < beta < 1.0:
+        raise ValueError("beta must be in (0, 1)")
+    return 16.0 * (math.log(t) + math.log(2.0 / beta)) / epsilon
+
+
+def ant_outsourced_bound(
+    logical_size: int,
+    epsilon: float,
+    t: int,
+    flush_interval: int,
+    flush_size: int,
+    beta: float,
+) -> float:
+    """Theorem 9: upper bound on ``|DS_t|`` under DP-ANT."""
+    alpha = ant_logical_gap_bound(epsilon, t, beta)
+    eta = flush_dummy_bound(t, flush_interval, flush_size)
+    return float(logical_size) + alpha + eta
+
+
+@dataclass(frozen=True)
+class StrategyBounds:
+    """One row of the paper's Table 2 (analytic strategy comparison)."""
+
+    strategy: str
+    group_privacy: str
+    logical_gap: str
+    outsourced_records: str
+
+
+def strategy_comparison_table() -> list[StrategyBounds]:
+    """Return the analytic comparison of synchronization strategies (Table 2).
+
+    The entries are symbolic (strings) because they describe asymptotic
+    behaviour; numeric instantiations for given parameters are available via
+    the ``*_bound`` functions above.
+    """
+    return [
+        StrategyBounds(
+            strategy="SUR",
+            group_privacy="inf-DP",
+            logical_gap="0",
+            outsourced_records="|D_t|",
+        ),
+        StrategyBounds(
+            strategy="OTO",
+            group_privacy="0-DP",
+            logical_gap="|D_t| - |D_0|",
+            outsourced_records="|D_0|",
+        ),
+        StrategyBounds(
+            strategy="SET",
+            group_privacy="0-DP",
+            logical_gap="0",
+            outsourced_records="|D_0| + t",
+        ),
+        StrategyBounds(
+            strategy="DP-Timer",
+            group_privacy="eps-DP",
+            logical_gap="c_t + O(2*sqrt(k)/eps)",
+            outsourced_records="|D_t| + O(2*sqrt(k)/eps) + eta",
+        ),
+        StrategyBounds(
+            strategy="DP-ANT",
+            group_privacy="eps-DP",
+            logical_gap="c_t + O(16*log(t)/eps)",
+            outsourced_records="|D_t| + O(16*log(t)/eps) + eta",
+        ),
+    ]
+
+
+def numeric_comparison(
+    epsilon: float,
+    t: int,
+    k: int,
+    logical_size: int,
+    initial_size: int,
+    flush_interval: int,
+    flush_size: int,
+    beta: float = 0.05,
+) -> dict[str, dict[str, float]]:
+    """Numeric instantiation of Table 2 for concrete parameters.
+
+    Returns a mapping ``strategy -> {"logical_gap": ..., "outsourced": ...}``
+    where the DP rows use the high-probability bounds with failure
+    probability ``beta`` (and a zero ``c_t`` term, i.e. measured right after a
+    synchronization).
+    """
+    eta = flush_dummy_bound(t, flush_interval, flush_size)
+    timer_alpha = timer_logical_gap_bound(epsilon, max(k, 1), beta)
+    ant_alpha = ant_logical_gap_bound(epsilon, max(t, 1), beta)
+    return {
+        "SUR": {"logical_gap": 0.0, "outsourced": float(logical_size)},
+        "OTO": {
+            "logical_gap": float(logical_size - initial_size),
+            "outsourced": float(initial_size),
+        },
+        "SET": {"logical_gap": 0.0, "outsourced": float(initial_size + t)},
+        "DP-Timer": {
+            "logical_gap": timer_alpha,
+            "outsourced": float(logical_size) + timer_alpha + eta,
+        },
+        "DP-ANT": {
+            "logical_gap": ant_alpha,
+            "outsourced": float(logical_size) + ant_alpha + eta,
+        },
+    }

@@ -1,0 +1,263 @@
+"""The secure-outsourced-growing-database (SOGDB) protocol interface.
+
+Definition 1 of the paper specifies an encrypted database as three protocols
+plus a synchronization algorithm::
+
+    (⊥, DS_0, ⊥) <- Setup((λ, D_0), ⊥, ⊥)
+    (⊥, DS'_t, ⊥) <- Update(γ, DS_t, ⊥)
+    (⊥, ⊥, a_t)  <- Query(⊥, DS_t, q_t)
+
+The ``Sync`` algorithm lives in :mod:`repro.core.strategies`; this module
+defines the server-side EDB interface shared by the two simulated back-ends
+(:class:`repro.edb.oblidb.ObliDB` and :class:`repro.edb.crypte.CryptEpsilon`).
+
+The base class handles the bookkeeping that is common to every atomic EDB:
+
+* one ciphertext per record (real or dummy), with optional *actual*
+  encryption via :class:`repro.edb.crypto.RecordCipher` (disabled by default
+  in large simulations because only the count and fixed ciphertext size are
+  observable -- tests enable it to check the indistinguishability contract);
+* an update-history transcript (time, volume) which is exactly the
+  update-pattern leakage DP-Sync reasons about;
+* per-table plaintext mirrors over which the "enclave side" of the query
+  protocol is evaluated;
+* cost-model charging for Setup/Update/Query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.edb.cost_model import CostModel, CostParameters, UnsupportedQueryError
+from repro.edb.crypto import EncryptedRecord, RecordCipher
+from repro.edb.leakage import LeakageClass, LeakageProfile
+from repro.edb.records import Record, count_dummy, count_real
+from repro.query.ast import Query
+from repro.query.executor import Answer, PlaintextExecutor
+
+__all__ = ["UpdateResult", "QueryResult", "EncryptedDatabase", "UnsupportedQueryError"]
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of a Setup or Update protocol invocation."""
+
+    time: int
+    records_added: int
+    dummies_added: int
+    bytes_added: float
+    duration_seconds: float
+
+    @property
+    def total_added(self) -> int:
+        """Total ciphertexts added (``|γ_t|`` -- the update volume)."""
+        return self.records_added + self.dummies_added
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of a Query protocol invocation."""
+
+    query_name: str
+    answer: Answer
+    qet_seconds: float
+    records_scanned: int
+    noise_injected: bool = False
+
+
+class EncryptedDatabase:
+    """Base class for simulated encrypted-database back-ends.
+
+    Parameters
+    ----------
+    cost_parameters:
+        Back-end specific cost constants (see :mod:`repro.edb.cost_model`).
+    scheme_name:
+        Human-readable name used in leakage profiles and reports.
+    query_leakage_class:
+        The query-side leakage class the back-end belongs to.
+    simulate_encryption:
+        When true, every record is actually run through
+        :class:`RecordCipher`; when false only counts/bytes are tracked,
+        which is observationally equivalent for the update pattern and much
+        faster for the 43,200-step experiments.
+    rng:
+        Random generator used by back-ends that inject DP noise.
+    """
+
+    def __init__(
+        self,
+        cost_parameters: CostParameters,
+        scheme_name: str,
+        query_leakage_class: LeakageClass,
+        simulate_encryption: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._cost_model = CostModel(cost_parameters)
+        self._scheme_name = scheme_name
+        self._query_leakage_class = query_leakage_class
+        self._simulate_encryption = simulate_encryption
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._cipher = RecordCipher() if simulate_encryption else None
+        self._executor = PlaintextExecutor()
+        self._ciphertexts: dict[str, list[EncryptedRecord]] = {}
+        self._table_totals: dict[str, int] = {}
+        self._table_dummies: dict[str, int] = {}
+        self._update_history: list[UpdateResult] = []
+        self._storage_bytes = 0.0
+        self._is_setup = False
+
+    # -- protocol surface ---------------------------------------------------
+
+    def setup(self, records: Iterable[Record], time: int = 0) -> UpdateResult:
+        """Run the Setup protocol with the initial record set ``γ_0``."""
+        if self._is_setup:
+            raise RuntimeError("Setup may only be invoked once")
+        self._is_setup = True
+        result = self._ingest(list(records), time, is_setup=True)
+        return result
+
+    def update(self, records: Iterable[Record], time: int) -> UpdateResult:
+        """Run the Update protocol, appending ``γ_t`` to the outsourced data."""
+        if not self._is_setup:
+            raise RuntimeError("Update invoked before Setup")
+        return self._ingest(list(records), time, is_setup=False)
+
+    def query(self, query: Query, time: int = 0) -> QueryResult:
+        """Run the Query protocol and return the analyst-visible answer."""
+        if not self._is_setup:
+            raise RuntimeError("Query invoked before Setup")
+        if not self._cost_model.supports(query):
+            raise UnsupportedQueryError(
+                f"{self._scheme_name} does not support {type(query).__name__}"
+            )
+        answer, stats = self._executor.execute_with_stats(query, rewrite=True)
+        answer, noise_injected = self._postprocess_answer(query, answer)
+        qet = self._cost_model.query_cost(query, dict(self._table_totals))
+        return QueryResult(
+            query_name=query.name,
+            answer=answer,
+            qet_seconds=qet,
+            records_scanned=stats.rows_scanned,
+            noise_injected=noise_injected,
+        )
+
+    # -- observable state ----------------------------------------------------
+
+    @property
+    def scheme_name(self) -> str:
+        """Name of the simulated scheme."""
+        return self._scheme_name
+
+    @property
+    def is_setup(self) -> bool:
+        """Whether Setup has run."""
+        return self._is_setup
+
+    @property
+    def update_history(self) -> tuple[UpdateResult, ...]:
+        """Transcript of all Setup/Update invocations (the update pattern)."""
+        return tuple(self._update_history)
+
+    @property
+    def outsourced_count(self) -> int:
+        """Total number of ciphertexts stored (real + dummy)."""
+        return sum(self._table_totals.values())
+
+    @property
+    def dummy_count(self) -> int:
+        """Total number of dummy ciphertexts stored."""
+        return sum(self._table_dummies.values())
+
+    @property
+    def real_count(self) -> int:
+        """Total number of real (non-dummy) ciphertexts stored."""
+        return self.outsourced_count - self.dummy_count
+
+    @property
+    def storage_bytes(self) -> float:
+        """Simulated server-side storage footprint in bytes."""
+        return self._storage_bytes
+
+    def table_size(self, table: str) -> int:
+        """Ciphertext count (real + dummy) for one table."""
+        return self._table_totals.get(table, 0)
+
+    def table_dummy_count(self, table: str) -> int:
+        """Dummy ciphertext count for one table."""
+        return self._table_dummies.get(table, 0)
+
+    def ciphertexts(self, table: str) -> Sequence[EncryptedRecord]:
+        """Stored ciphertexts (only populated when encryption is simulated)."""
+        return tuple(self._ciphertexts.get(table, ()))
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The back-end's cost model."""
+        return self._cost_model
+
+    @property
+    def leakage_profile(self) -> LeakageProfile:
+        """What this back-end leaks; update leakage is the update pattern only."""
+        return LeakageProfile(
+            scheme=self._scheme_name,
+            query_class=self._query_leakage_class,
+            update_leaks_only_pattern=True,
+            reveals_exact_volume=self._query_leakage_class
+            in (LeakageClass.L1, LeakageClass.L2),
+            reveals_access_pattern=self._query_leakage_class is LeakageClass.L2,
+        )
+
+    def supports(self, query: Query) -> bool:
+        """Whether the back-end can run ``query``."""
+        return self._cost_model.supports(query)
+
+    # -- hooks for subclasses -------------------------------------------------
+
+    def _postprocess_answer(self, query: Query, answer: Answer) -> tuple[Answer, bool]:
+        """Back-end specific answer transformation (e.g. DP noise).
+
+        Returns the (possibly modified) answer and whether noise was injected.
+        """
+        return answer, False
+
+    def _on_records_stored(self, table: str, records: Sequence[Record]) -> None:
+        """Hook invoked after records are added to ``table`` (e.g. ORAM insert)."""
+
+    # -- internals -------------------------------------------------------------
+
+    def _ingest(self, records: list[Record], time: int, is_setup: bool) -> UpdateResult:
+        by_table: dict[str, list[Record]] = {}
+        for record in records:
+            table = record.table or "default"
+            by_table.setdefault(table, []).append(record)
+
+        for table, rows in by_table.items():
+            self._executor.append(table, rows)
+            self._table_totals[table] = self._table_totals.get(table, 0) + len(rows)
+            self._table_dummies[table] = self._table_dummies.get(table, 0) + count_dummy(rows)
+            if self._cipher is not None:
+                encrypted = [self._cipher.encrypt(row) for row in rows]
+                self._ciphertexts.setdefault(table, []).extend(encrypted)
+            self._on_records_stored(table, rows)
+
+        num_records = len(records)
+        bytes_added = self._cost_model.storage_bytes(num_records)
+        self._storage_bytes += bytes_added
+        duration = (
+            self._cost_model.setup_cost(num_records)
+            if is_setup
+            else self._cost_model.update_cost(num_records)
+        )
+        result = UpdateResult(
+            time=time,
+            records_added=count_real(records),
+            dummies_added=count_dummy(records),
+            bytes_added=bytes_added,
+            duration_seconds=duration,
+        )
+        self._update_history.append(result)
+        return result

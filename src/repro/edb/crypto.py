@@ -1,0 +1,152 @@
+"""Simulated record-level encryption.
+
+The paper assumes an *atomic* encrypted database: every record (real or dummy)
+is encrypted independently into a fixed-size ciphertext under a semantically
+secure scheme, so the server cannot tell real records from dummies.  This
+module simulates exactly that contract:
+
+* :class:`RecordCipher` derives a per-record keystream from a secret key and a
+  random 128-bit nonce (a keyed BLAKE2b PRF in counter mode) and XORs it over
+  a canonical, padded serialization of the record.
+* Every ciphertext has the same length regardless of the plaintext content or
+  the ``is_dummy`` flag, which is what makes the update volume ``|γ_t|`` the
+  *only* information the server learns from an update.
+
+This is a simulation of AES-CTR-style encryption for a reproduction study: it
+provides the indistinguishability property the analysis needs (and tests
+check), but it has not been audited for production cryptographic use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.edb.records import Record
+
+__all__ = ["EncryptedRecord", "RecordCipher", "CIPHERTEXT_SIZE"]
+
+#: Fixed plaintext-block size (bytes) every record is padded to before
+#: encryption.  Large enough for the paper's taxi schema with slack; the
+#: cipher raises if a record does not fit rather than silently leaking length.
+PLAINTEXT_BLOCK_SIZE: int = 256
+
+#: Nonce length in bytes prepended to every ciphertext.
+NONCE_SIZE: int = 16
+
+#: Total ciphertext size: nonce + padded body + authentication tag.
+CIPHERTEXT_SIZE: int = NONCE_SIZE + PLAINTEXT_BLOCK_SIZE + 32
+
+
+@dataclass(frozen=True)
+class EncryptedRecord:
+    """An encrypted record as stored by the server.
+
+    The server-visible surface is only ``ciphertext`` (fixed size) and the
+    opaque ``handle`` used to address the record inside the outsourced
+    structure.  Nothing about the plaintext, including whether it is a dummy,
+    is derivable from these fields without the key.
+    """
+
+    ciphertext: bytes
+    handle: int
+
+    def __post_init__(self) -> None:
+        if len(self.ciphertext) != CIPHERTEXT_SIZE:
+            raise ValueError(
+                f"ciphertext must be exactly {CIPHERTEXT_SIZE} bytes, "
+                f"got {len(self.ciphertext)}"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        """Server-side storage footprint of this record."""
+        return len(self.ciphertext)
+
+
+@dataclass
+class RecordCipher:
+    """Keyed cipher that encrypts records into fixed-size ciphertexts.
+
+    Parameters
+    ----------
+    key:
+        32-byte secret key.  Generated randomly when omitted.
+    """
+
+    key: bytes = field(default_factory=lambda: os.urandom(32))
+    _next_handle: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.key) < 16:
+            raise ValueError("key must be at least 16 bytes")
+
+    def encrypt(self, record: Record) -> EncryptedRecord:
+        """Encrypt ``record`` into a fixed-size :class:`EncryptedRecord`."""
+        plaintext = self._serialize(record)
+        nonce = os.urandom(NONCE_SIZE)
+        keystream = self._keystream(nonce, len(plaintext))
+        body = bytes(p ^ k for p, k in zip(plaintext, keystream))
+        tag = hmac.new(self.key, nonce + body, hashlib.sha256).digest()
+        handle = self._next_handle
+        self._next_handle += 1
+        return EncryptedRecord(ciphertext=nonce + body + tag, handle=handle)
+
+    def decrypt(self, encrypted: EncryptedRecord) -> Record:
+        """Decrypt an :class:`EncryptedRecord` back into a :class:`Record`.
+
+        Raises ``ValueError`` if the authentication tag does not verify.
+        """
+        nonce = encrypted.ciphertext[:NONCE_SIZE]
+        body = encrypted.ciphertext[NONCE_SIZE:-32]
+        tag = encrypted.ciphertext[-32:]
+        expected = hmac.new(self.key, nonce + body, hashlib.sha256).digest()
+        if not hmac.compare_digest(tag, expected):
+            raise ValueError("ciphertext failed authentication")
+        keystream = self._keystream(nonce, len(body))
+        plaintext = bytes(c ^ k for c, k in zip(body, keystream))
+        return self._deserialize(plaintext)
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        blocks = []
+        counter = 0
+        while sum(len(b) for b in blocks) < length:
+            block = hashlib.blake2b(
+                nonce + counter.to_bytes(8, "big"), key=self.key, digest_size=64
+            ).digest()
+            blocks.append(block)
+            counter += 1
+        return b"".join(blocks)[:length]
+
+    @staticmethod
+    def _serialize(record: Record) -> bytes:
+        payload: dict[str, Any] = {
+            "values": dict(record.values),
+            "arrival_time": record.arrival_time,
+            "is_dummy": record.is_dummy,
+            "table": record.table,
+        }
+        raw = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        if len(raw) > PLAINTEXT_BLOCK_SIZE - 4:
+            raise ValueError(
+                f"record serialization of {len(raw)} bytes exceeds the "
+                f"{PLAINTEXT_BLOCK_SIZE - 4}-byte plaintext block"
+            )
+        length_prefix = len(raw).to_bytes(4, "big")
+        padding = b"\x00" * (PLAINTEXT_BLOCK_SIZE - 4 - len(raw))
+        return length_prefix + raw + padding
+
+    @staticmethod
+    def _deserialize(plaintext: bytes) -> Record:
+        length = int.from_bytes(plaintext[:4], "big")
+        payload = json.loads(plaintext[4 : 4 + length].decode())
+        return Record(
+            values=payload["values"],
+            arrival_time=payload["arrival_time"],
+            is_dummy=payload["is_dummy"],
+            table=payload["table"],
+        )

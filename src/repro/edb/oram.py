@@ -1,0 +1,213 @@
+"""Path ORAM simulator.
+
+ObliDB (the L-0 back-end evaluated in the paper) stores tables either as flat
+arrays scanned obliviously or inside an ORAM so that point accesses do not
+reveal which record was touched.  This module implements a faithful,
+laptop-scale Path ORAM (Stefanov et al.) over opaque block payloads:
+
+* a complete binary tree of buckets with ``bucket_size`` slots each,
+* a client-side position map and stash,
+* the standard access protocol: read the path for the block's leaf, remap the
+  block to a fresh random leaf, write the path back greedily from the leaves.
+
+The simulator exposes the *access transcript* (which tree nodes were touched)
+so tests can verify obliviousness: the distribution of touched paths is
+independent of the logical access sequence.  It also counts physical block
+reads/writes, which the ObliDB cost model charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["PathORAM", "ORAMStats"]
+
+
+@dataclass
+class ORAMStats:
+    """Physical-access counters maintained by the ORAM."""
+
+    accesses: int = 0
+    blocks_read: int = 0
+    blocks_written: int = 0
+    stash_peak: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = 0
+        self.blocks_read = 0
+        self.blocks_written = 0
+        self.stash_peak = 0
+
+
+@dataclass
+class _Block:
+    block_id: int
+    payload: Any
+    leaf: int
+
+
+class PathORAM:
+    """A Path ORAM over opaque payloads keyed by integer block ids.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of logical blocks that can be stored.  The tree height
+        is chosen so that the number of leaves is at least ``capacity``.
+    bucket_size:
+        Number of block slots per tree node (Z in the Path ORAM paper;
+        4 is the standard choice).
+    rng:
+        Random generator used for leaf remapping.  Passing an explicitly
+        seeded generator makes every access sequence reproducible.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        bucket_size: int = 4,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if bucket_size <= 0:
+            raise ValueError("bucket_size must be positive")
+        self._capacity = capacity
+        self._bucket_size = bucket_size
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._height = max(1, int(np.ceil(np.log2(max(2, capacity)))))
+        self._num_leaves = 2**self._height
+        self._num_nodes = 2 ** (self._height + 1) - 1
+        self._tree: list[list[_Block]] = [[] for _ in range(self._num_nodes)]
+        self._position_map: dict[int, int] = {}
+        self._stash: dict[int, _Block] = {}
+        self.stats = ORAMStats()
+        self.last_path: tuple[int, ...] = ()
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of logical blocks."""
+        return self._capacity
+
+    @property
+    def height(self) -> int:
+        """Tree height (root has depth 0)."""
+        return self._height
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf buckets."""
+        return self._num_leaves
+
+    def __len__(self) -> int:
+        return len(self._position_map)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._position_map
+
+    def stash_size(self) -> int:
+        """Current number of blocks waiting in the client stash."""
+        return len(self._stash)
+
+    def write(self, block_id: int, payload: Any) -> None:
+        """Insert or overwrite the block ``block_id`` with ``payload``."""
+        if block_id not in self._position_map and len(self._position_map) >= self._capacity:
+            raise ValueError(f"ORAM capacity of {self._capacity} blocks exceeded")
+        self._access(block_id, payload, is_write=True)
+
+    def read(self, block_id: int) -> Any:
+        """Read the payload of ``block_id`` (raises ``KeyError`` if absent)."""
+        if block_id not in self._position_map:
+            raise KeyError(f"block {block_id} is not stored in the ORAM")
+        return self._access(block_id, None, is_write=False)
+
+    def read_all(self) -> dict[int, Any]:
+        """Return payloads of all stored blocks (a full oblivious scan).
+
+        A full scan touches the entire tree, so it is charged as reading every
+        bucket once; this is what ObliDB's oblivious full-scan operators do.
+        """
+        self.stats.blocks_read += self._num_nodes * self._bucket_size
+        result: dict[int, Any] = {}
+        for bucket in self._tree:
+            for block in bucket:
+                result[block.block_id] = block.payload
+        for block_id, block in self._stash.items():
+            result[block_id] = block.payload
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _path_nodes(self, leaf: int) -> list[int]:
+        """Indices of tree nodes from root to the given leaf."""
+        node = leaf + self._num_leaves - 1
+        path = []
+        while True:
+            path.append(node)
+            if node == 0:
+                break
+            node = (node - 1) // 2
+        path.reverse()
+        return path
+
+    def _access(self, block_id: int, payload: Any, is_write: bool) -> Any:
+        self.stats.accesses += 1
+        leaf = self._position_map.get(block_id)
+        if leaf is None:
+            leaf = int(self._rng.integers(0, self._num_leaves))
+        new_leaf = int(self._rng.integers(0, self._num_leaves))
+        self._position_map[block_id] = new_leaf
+
+        path = self._path_nodes(leaf)
+        self.last_path = tuple(path)
+
+        # Read the whole path into the stash.
+        for node in path:
+            bucket = self._tree[node]
+            self.stats.blocks_read += self._bucket_size
+            for block in bucket:
+                self._stash[block.block_id] = block
+            self._tree[node] = []
+
+        # Serve the request from the stash.
+        result = None
+        if is_write:
+            self._stash[block_id] = _Block(block_id, payload, new_leaf)
+        else:
+            block = self._stash.get(block_id)
+            if block is None:
+                raise KeyError(f"block {block_id} missing from ORAM path and stash")
+            block.leaf = new_leaf
+            result = block.payload
+
+        self.stats.stash_peak = max(self.stats.stash_peak, len(self._stash))
+
+        # Write the path back, placing each stashed block as deep as possible.
+        for node in reversed(path):
+            depth = self._node_depth(node)
+            bucket: list[_Block] = []
+            for candidate_id in list(self._stash.keys()):
+                if len(bucket) >= self._bucket_size:
+                    break
+                candidate = self._stash[candidate_id]
+                candidate_path = self._path_nodes(self._position_map[candidate_id])
+                if len(candidate_path) > depth and candidate_path[depth] == node:
+                    bucket.append(candidate)
+                    del self._stash[candidate_id]
+            self._tree[node] = bucket
+            self.stats.blocks_written += self._bucket_size
+        return result
+
+    @staticmethod
+    def _node_depth(node: int) -> int:
+        depth = 0
+        while node != 0:
+            node = (node - 1) // 2
+            depth += 1
+        return depth

@@ -1,0 +1,247 @@
+"""Query descriptions and relational-algebra plan nodes.
+
+Two levels of abstraction are provided:
+
+* **Query objects** (:class:`CountQuery`, :class:`GroupByCountQuery`,
+  :class:`JoinCountQuery`) describe *what* is asked -- these are what the
+  analyst submits and what the paper's Q1/Q2/Q3 map onto.
+* **Plan nodes** (:class:`ScanNode`, :class:`FilterNode`, :class:`JoinNode`,
+  ...) describe *how* the answer is computed; every query lowers to a plan via
+  :meth:`Query.to_plan` and the dummy-aware rewriting of Appendix B operates
+  on plans.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.query.predicates import Predicate, TruePredicate
+
+__all__ = [
+    "AggregationKind",
+    "Query",
+    "CountQuery",
+    "GroupByCountQuery",
+    "JoinCountQuery",
+    "PlanNode",
+    "ScanNode",
+    "FilterNode",
+    "ProjectNode",
+    "CrossProductNode",
+    "GroupByCountNode",
+    "JoinNode",
+    "CountNode",
+]
+
+
+class AggregationKind(enum.Enum):
+    """Kind of aggregation produced by a query."""
+
+    SCALAR_COUNT = "scalar-count"
+    GROUPED_COUNT = "grouped-count"
+
+
+# ---------------------------------------------------------------------------
+# Plan nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class for relational-algebra plan nodes."""
+
+    def children(self) -> tuple["PlanNode", ...]:
+        """Child plan nodes (empty for leaves)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class ScanNode(PlanNode):
+    """Scan of a base table."""
+
+    table: str
+
+
+@dataclass(frozen=True)
+class FilterNode(PlanNode):
+    """Filter ``phi(T, p)``: keep rows satisfying ``predicate``."""
+
+    child: PlanNode
+    predicate: Predicate
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class ProjectNode(PlanNode):
+    """Project ``pi(T, A)``: keep only ``attributes``."""
+
+    child: PlanNode
+    attributes: tuple[str, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class CrossProductNode(PlanNode):
+    """CrossProduct ``x(T, A_i, A_j)``: combine two attributes into one.
+
+    The new attribute ``output`` holds the tuple ``(row[left], row[right])``.
+    """
+
+    child: PlanNode
+    left: str
+    right: str
+    output: str
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class GroupByCountNode(PlanNode):
+    """GroupBy ``chi(T, A')`` followed by a COUNT(*) per group."""
+
+    child: PlanNode
+    group_attribute: str
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """Inner equi-join of two inputs on ``left_attribute == right_attribute``."""
+
+    left: PlanNode
+    right: PlanNode
+    left_attribute: str
+    right_attribute: str
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class CountNode(PlanNode):
+    """COUNT(*) of the child's output."""
+
+    child: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+# ---------------------------------------------------------------------------
+# Query objects
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base class for analyst-facing queries."""
+
+    @property
+    def kind(self) -> AggregationKind:
+        """Aggregation kind of the answer."""
+        raise NotImplementedError
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        """Tables referenced by the query."""
+        raise NotImplementedError
+
+    def to_plan(self) -> PlanNode:
+        """Lower the query to a relational-algebra plan."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """Short label used in reports (override when parsed from SQL)."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class CountQuery(Query):
+    """``SELECT COUNT(*) FROM table WHERE predicate`` (the paper's Q1 shape)."""
+
+    table: str
+    predicate: Predicate = field(default_factory=TruePredicate)
+    label: str = "CountQuery"
+
+    @property
+    def kind(self) -> AggregationKind:
+        return AggregationKind.SCALAR_COUNT
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        return (self.table,)
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    def to_plan(self) -> PlanNode:
+        return CountNode(FilterNode(ScanNode(self.table), self.predicate))
+
+
+@dataclass(frozen=True)
+class GroupByCountQuery(Query):
+    """``SELECT g, COUNT(*) FROM table [WHERE p] GROUP BY g`` (Q2 shape)."""
+
+    table: str
+    group_attribute: str
+    predicate: Predicate = field(default_factory=TruePredicate)
+    label: str = "GroupByCountQuery"
+
+    @property
+    def kind(self) -> AggregationKind:
+        return AggregationKind.GROUPED_COUNT
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        return (self.table,)
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    def to_plan(self) -> PlanNode:
+        return GroupByCountNode(
+            FilterNode(ScanNode(self.table), self.predicate), self.group_attribute
+        )
+
+
+@dataclass(frozen=True)
+class JoinCountQuery(Query):
+    """``SELECT COUNT(*) FROM L INNER JOIN R ON L.a = R.b`` (Q3 shape)."""
+
+    left_table: str
+    right_table: str
+    left_attribute: str
+    right_attribute: str
+    left_predicate: Predicate = field(default_factory=TruePredicate)
+    right_predicate: Predicate = field(default_factory=TruePredicate)
+    label: str = "JoinCountQuery"
+
+    @property
+    def kind(self) -> AggregationKind:
+        return AggregationKind.SCALAR_COUNT
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        return (self.left_table, self.right_table)
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    def to_plan(self) -> PlanNode:
+        left = FilterNode(ScanNode(self.left_table), self.left_predicate)
+        right = FilterNode(ScanNode(self.right_table), self.right_predicate)
+        return CountNode(
+            JoinNode(left, right, self.left_attribute, self.right_attribute)
+        )

@@ -1,0 +1,123 @@
+"""Composable predicates over records.
+
+Predicates are small immutable objects with an :meth:`evaluate` method; they
+are used by filters in query plans, by the dummy-aware query rewriting
+(which conjoins ``NotDummyPredicate`` onto existing predicates, Appendix B)
+and by the plaintext executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.edb.records import Record
+
+__all__ = [
+    "Predicate",
+    "TruePredicate",
+    "RangePredicate",
+    "EqualityPredicate",
+    "AndPredicate",
+    "OrPredicate",
+    "NotPredicate",
+    "NotDummyPredicate",
+]
+
+
+class Predicate:
+    """Base class for record predicates."""
+
+    def evaluate(self, record: Record) -> bool:
+        """Whether ``record`` satisfies the predicate."""
+        raise NotImplementedError
+
+    def __call__(self, record: Record) -> bool:
+        return self.evaluate(record)
+
+    def __and__(self, other: "Predicate") -> "AndPredicate":
+        return AndPredicate((self, other))
+
+    def __or__(self, other: "Predicate") -> "OrPredicate":
+        return OrPredicate((self, other))
+
+    def __invert__(self) -> "NotPredicate":
+        return NotPredicate(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Predicate satisfied by every record."""
+
+    def evaluate(self, record: Record) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class RangePredicate(Predicate):
+    """``low <= record[attribute] <= high`` (both bounds inclusive)."""
+
+    attribute: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(
+                f"range lower bound {self.low} exceeds upper bound {self.high}"
+            )
+
+    def evaluate(self, record: Record) -> bool:
+        value = record.get(self.attribute)
+        if value is None:
+            return False
+        return self.low <= value <= self.high
+
+
+@dataclass(frozen=True)
+class EqualityPredicate(Predicate):
+    """``record[attribute] == value``."""
+
+    attribute: str
+    value: Any
+
+    def evaluate(self, record: Record) -> bool:
+        return record.get(self.attribute) == self.value
+
+
+@dataclass(frozen=True)
+class AndPredicate(Predicate):
+    """Conjunction of child predicates."""
+
+    children: tuple[Predicate, ...]
+
+    def evaluate(self, record: Record) -> bool:
+        return all(child.evaluate(record) for child in self.children)
+
+
+@dataclass(frozen=True)
+class OrPredicate(Predicate):
+    """Disjunction of child predicates."""
+
+    children: tuple[Predicate, ...]
+
+    def evaluate(self, record: Record) -> bool:
+        return any(child.evaluate(record) for child in self.children)
+
+
+@dataclass(frozen=True)
+class NotPredicate(Predicate):
+    """Negation of a child predicate."""
+
+    child: Predicate
+
+    def evaluate(self, record: Record) -> bool:
+        return not self.child.evaluate(record)
+
+
+@dataclass(frozen=True)
+class NotDummyPredicate(Predicate):
+    """``record.isDummy == False`` -- the predicate added by query rewriting."""
+
+    def evaluate(self, record: Record) -> bool:
+        return not record.is_dummy

@@ -1,0 +1,98 @@
+"""Dummy-aware query rewriting (Appendix B).
+
+The outsourced database stores dummy records that are indistinguishable from
+real records once encrypted.  So that analyst answers are not distorted by the
+dummies, every relational operator is rewritten to ignore records whose
+``isDummy`` attribute is true:
+
+* ``Filter(T, p)``           -> ``Filter(T, p AND NOT isDummy)``
+* ``Project(T, A)``          -> ``Project(Filter(T, NOT isDummy), A)``
+* ``CrossProduct(T, Ai, Aj)``-> applied after a ``NOT isDummy`` filter
+* ``GroupBy(T, A')``         -> grouped only over rows with ``NOT isDummy``
+* ``Join(T1, T2, c)``        -> ``Join(Filter(T1, ...), Filter(T2, ...), c)``
+
+The rewriting happens inside the EDB's (simulated) oblivious query protocol,
+which is legitimate because the protocol already hides access patterns and
+response volumes; it must *not* be applied by schemes that leak size patterns
+(see Section 6 / Appendix B discussion).
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import (
+    CountNode,
+    CrossProductNode,
+    FilterNode,
+    GroupByCountNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    Query,
+    ScanNode,
+)
+from repro.query.predicates import AndPredicate, NotDummyPredicate
+
+__all__ = ["rewrite_plan", "rewrite_for_dummies"]
+
+
+def rewrite_plan(plan: PlanNode) -> PlanNode:
+    """Rewrite a relational plan so dummy records never affect results."""
+    if isinstance(plan, ScanNode):
+        # A bare scan is wrapped so downstream operators only see real rows.
+        return FilterNode(plan, NotDummyPredicate())
+    if isinstance(plan, FilterNode):
+        child = plan.child
+        # Avoid double-wrapping: the filter itself will carry the NOT-dummy
+        # conjunct, so scan children are left bare.
+        rewritten_child = child if isinstance(child, ScanNode) else rewrite_plan(child)
+        predicate = AndPredicate((plan.predicate, NotDummyPredicate()))
+        return FilterNode(rewritten_child, predicate)
+    if isinstance(plan, ProjectNode):
+        return ProjectNode(rewrite_plan(plan.child), plan.attributes)
+    if isinstance(plan, CrossProductNode):
+        return CrossProductNode(
+            rewrite_plan(plan.child), plan.left, plan.right, plan.output
+        )
+    if isinstance(plan, GroupByCountNode):
+        return GroupByCountNode(rewrite_plan(plan.child), plan.group_attribute)
+    if isinstance(plan, JoinNode):
+        return JoinNode(
+            rewrite_plan(plan.left),
+            rewrite_plan(plan.right),
+            plan.left_attribute,
+            plan.right_attribute,
+        )
+    if isinstance(plan, CountNode):
+        return CountNode(rewrite_plan(plan.child))
+    raise TypeError(f"unknown plan node type: {type(plan).__name__}")
+
+
+def rewrite_for_dummies(query: Query) -> PlanNode:
+    """Lower ``query`` to a plan and apply the dummy-aware rewriting."""
+    return rewrite_plan(query.to_plan())
+
+
+def plan_filters_dummies(plan: PlanNode) -> bool:
+    """Whether every base-table scan in ``plan`` is guarded by a NOT-dummy filter.
+
+    Used by tests to assert the rewriting is complete: no path from a scan to
+    the root may avoid a :class:`NotDummyPredicate`.
+    """
+    return _guarded(plan, guarded=False)
+
+
+def _guarded(plan: PlanNode, guarded: bool) -> bool:
+    if isinstance(plan, ScanNode):
+        return guarded
+    if isinstance(plan, FilterNode):
+        has_guard = guarded or _predicate_filters_dummies(plan.predicate)
+        return _guarded(plan.child, has_guard)
+    return all(_guarded(child, guarded) for child in plan.children())
+
+
+def _predicate_filters_dummies(predicate) -> bool:
+    if isinstance(predicate, NotDummyPredicate):
+        return True
+    if isinstance(predicate, AndPredicate):
+        return any(_predicate_filters_dummies(child) for child in predicate.children)
+    return False

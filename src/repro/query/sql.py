@@ -1,0 +1,190 @@
+"""A tiny SQL front-end for the paper's query shapes.
+
+The evaluation section poses its workload as SQL strings (Q1-Q3).  This module
+parses exactly that family of queries into :mod:`repro.query.ast` objects:
+
+* ``SELECT COUNT(*) FROM T``
+* ``SELECT COUNT(*) FROM T WHERE a BETWEEN x AND y``
+* ``SELECT COUNT(*) FROM T WHERE a = v``
+* ``SELECT g, COUNT(*) [AS alias] FROM T [WHERE ...] GROUP BY g``
+* ``SELECT COUNT(*) FROM L INNER JOIN R ON L.a = R.b``
+
+It is intentionally small -- a reproduction needs the paper's query surface,
+not a general SQL engine -- but it validates its input and raises
+:class:`SQLParseError` with a helpful message for anything outside that
+surface.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.query.ast import CountQuery, GroupByCountQuery, JoinCountQuery, Query
+from repro.query.predicates import (
+    AndPredicate,
+    EqualityPredicate,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+)
+
+__all__ = ["SQLParseError", "parse_query"]
+
+
+class SQLParseError(ValueError):
+    """Raised when a SQL string falls outside the supported query surface."""
+
+
+_JOIN_RE = re.compile(
+    r"^select\s+count\(\*\)\s+from\s+(?P<left>\w+)\s+inner\s+join\s+(?P<right>\w+)"
+    r"\s+on\s+(?P<lt>\w+)\.(?P<la>\w+)\s*=\s*(?P<rt>\w+)\.(?P<ra>\w+)\s*$",
+    re.IGNORECASE,
+)
+
+_GROUPBY_RE = re.compile(
+    r"^select\s+(?P<group>\w+)\s*,\s*count\(\*\)(?:\s+as\s+\w+)?\s+from\s+(?P<table>\w+)"
+    r"(?:\s+where\s+(?P<where>.*?))?\s+group\s+by\s+(?P<groupby>\w+)\s*$",
+    re.IGNORECASE,
+)
+
+_COUNT_RE = re.compile(
+    r"^select\s+count\(\*\)\s+from\s+(?P<table>\w+)"
+    r"(?:\s+where\s+(?P<where>.*?))?\s*$",
+    re.IGNORECASE,
+)
+
+_BETWEEN_RE = re.compile(
+    r"^(?P<attr>\w+)\s+between\s+(?P<low>-?\d+(?:\.\d+)?)\s+and\s+(?P<high>-?\d+(?:\.\d+)?)$",
+    re.IGNORECASE,
+)
+
+_EQUALITY_RE = re.compile(
+    r"^(?P<attr>\w+)\s*=\s*(?P<value>-?\d+(?:\.\d+)?|'[^']*')$",
+    re.IGNORECASE,
+)
+
+
+def parse_query(sql: str, label: str | None = None) -> Query:
+    """Parse a SQL string into a query object.
+
+    Parameters
+    ----------
+    sql:
+        The SQL text.
+    label:
+        Optional short name (e.g. ``"Q1"``) attached to the resulting query
+        and used in experiment reports.
+    """
+    text = " ".join(sql.strip().rstrip(";").split())
+    if not text:
+        raise SQLParseError("empty query string")
+
+    join_match = _JOIN_RE.match(text)
+    if join_match:
+        left, right = join_match.group("left"), join_match.group("right")
+        lt, la = join_match.group("lt"), join_match.group("la")
+        rt, ra = join_match.group("rt"), join_match.group("ra")
+        left_attr, right_attr = _resolve_join_sides(left, right, lt, la, rt, ra)
+        return JoinCountQuery(
+            left_table=left,
+            right_table=right,
+            left_attribute=left_attr,
+            right_attribute=right_attr,
+            label=label or "JoinCountQuery",
+        )
+
+    group_match = _GROUPBY_RE.match(text)
+    if group_match:
+        group = group_match.group("group")
+        groupby = group_match.group("groupby")
+        if group.lower() != groupby.lower():
+            raise SQLParseError(
+                f"selected column {group!r} must match GROUP BY column {groupby!r}"
+            )
+        predicate = _parse_where(group_match.group("where"))
+        return GroupByCountQuery(
+            table=group_match.group("table"),
+            group_attribute=group,
+            predicate=predicate,
+            label=label or "GroupByCountQuery",
+        )
+
+    count_match = _COUNT_RE.match(text)
+    if count_match:
+        predicate = _parse_where(count_match.group("where"))
+        return CountQuery(
+            table=count_match.group("table"),
+            predicate=predicate,
+            label=label or "CountQuery",
+        )
+
+    raise SQLParseError(f"unsupported query shape: {sql!r}")
+
+
+def _resolve_join_sides(
+    left: str, right: str, lt: str, la: str, rt: str, ra: str
+) -> tuple[str, str]:
+    """Map the ON-clause table qualifiers onto the FROM-clause tables."""
+    if lt.lower() == left.lower() and rt.lower() == right.lower():
+        return la, ra
+    if lt.lower() == right.lower() and rt.lower() == left.lower():
+        return ra, la
+    raise SQLParseError(
+        f"ON clause references tables {lt!r}/{rt!r} that do not match the "
+        f"joined tables {left!r}/{right!r}"
+    )
+
+
+def _split_clauses(where: str) -> list[str]:
+    """Split a WHERE body on top-level ANDs, keeping BETWEEN ... AND intact."""
+    tokens = where.split()
+    clauses: list[list[str]] = [[]]
+    pending_between = 0  # tokens still owed to an open BETWEEN (value AND value)
+    for token in tokens:
+        lowered = token.lower()
+        if lowered == "and" and pending_between == 0:
+            if clauses[-1]:
+                clauses.append([])
+            continue
+        clauses[-1].append(token)
+        if lowered == "between":
+            pending_between = 3  # expect: low, AND, high
+        elif pending_between:
+            pending_between -= 1
+    return [" ".join(clause) for clause in clauses if clause]
+
+
+def _parse_where(where: str | None) -> Predicate:
+    if where is None or not where.strip():
+        return TruePredicate()
+    clauses = _split_clauses(where.strip())
+    predicates: list[Predicate] = []
+    for clause in clauses:
+        clause = clause.strip()
+        between = _BETWEEN_RE.match(clause)
+        if between:
+            predicates.append(
+                RangePredicate(
+                    attribute=between.group("attr"),
+                    low=_number(between.group("low")),
+                    high=_number(between.group("high")),
+                )
+            )
+            continue
+        equality = _EQUALITY_RE.match(clause)
+        if equality:
+            raw = equality.group("value")
+            value = raw.strip("'") if raw.startswith("'") else _number(raw)
+            predicates.append(
+                EqualityPredicate(attribute=equality.group("attr"), value=value)
+            )
+            continue
+        raise SQLParseError(f"unsupported WHERE clause: {clause!r}")
+    if len(predicates) == 1:
+        return predicates[0]
+    return AndPredicate(tuple(predicates))
+
+
+def _number(text: str) -> float | int:
+    value = float(text)
+    return int(value) if value.is_integer() else value

@@ -1,0 +1,60 @@
+"""Experiment harness: drives owners, strategies and EDBs through time.
+
+* :mod:`repro.simulation.clock` -- the discrete simulation clock;
+* :mod:`repro.simulation.results` -- per-timestep traces and aggregates
+  (mean/max L1 error, mean QET, logical gap, total/dummy data size);
+* :mod:`repro.simulation.simulator` -- :class:`Simulation`, which replays a
+  growing database against one EDB back-end and one strategy, issuing the
+  evaluation queries on a fixed schedule;
+* :mod:`repro.simulation.experiment` -- the experiment configurations behind
+  every table and figure of Section 8;
+* :mod:`repro.simulation.reporting` -- text renderers for the paper-style
+  tables and figure series.
+"""
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.results import QueryTrace, RunResult, TimePoint
+from repro.simulation.simulator import Simulation, SimulationConfig
+from repro.simulation.experiment import (
+    DEFAULT_EPSILON,
+    DEFAULT_FLUSH,
+    DEFAULT_QUERY_INTERVAL,
+    DEFAULT_THETA,
+    DEFAULT_TIMER_PERIOD,
+    EndToEndConfig,
+    default_queries,
+    run_end_to_end,
+    run_parameter_sweep,
+    run_privacy_sweep,
+)
+from repro.simulation.reporting import (
+    format_figure_series,
+    format_headline_claims,
+    format_table2,
+    format_table3,
+    format_table5,
+)
+
+__all__ = [
+    "DEFAULT_EPSILON",
+    "DEFAULT_FLUSH",
+    "DEFAULT_QUERY_INTERVAL",
+    "DEFAULT_THETA",
+    "DEFAULT_TIMER_PERIOD",
+    "EndToEndConfig",
+    "QueryTrace",
+    "RunResult",
+    "Simulation",
+    "SimulationClock",
+    "SimulationConfig",
+    "TimePoint",
+    "default_queries",
+    "format_figure_series",
+    "format_headline_claims",
+    "format_table2",
+    "format_table3",
+    "format_table5",
+    "run_end_to_end",
+    "run_parameter_sweep",
+    "run_privacy_sweep",
+]

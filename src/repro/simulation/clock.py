@@ -1,0 +1,65 @@
+"""Discrete simulation clock.
+
+The paper's evaluation treats one minute as the minimum time span; the clock
+simply counts time units, knows the query schedule and the horizon, and is
+shared by the simulator components so they agree on "now".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["SimulationClock"]
+
+
+@dataclass
+class SimulationClock:
+    """Counts discrete time units from 1 to ``horizon``.
+
+    Attributes
+    ----------
+    horizon:
+        Last time unit (inclusive).
+    query_interval:
+        Queries are issued whenever ``now % query_interval == 0``;
+        0 disables scheduled queries.
+    """
+
+    horizon: int
+    query_interval: int = 0
+    now: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        if self.query_interval < 0:
+            raise ValueError("query_interval must be non-negative")
+
+    def tick(self) -> int:
+        """Advance one time unit and return the new time."""
+        if self.now >= self.horizon:
+            raise RuntimeError("clock advanced past its horizon")
+        self.now += 1
+        return self.now
+
+    def is_query_time(self) -> bool:
+        """Whether queries are scheduled for the current time unit."""
+        if self.query_interval == 0 or self.now == 0:
+            return False
+        return self.now % self.query_interval == 0
+
+    def remaining(self) -> int:
+        """Time units left before the horizon."""
+        return self.horizon - self.now
+
+    def iter_ticks(self) -> Iterator[int]:
+        """Iterate over all remaining time units, advancing the clock."""
+        while self.now < self.horizon:
+            yield self.tick()
+
+    def query_times(self) -> tuple[int, ...]:
+        """All scheduled query times over the full horizon."""
+        if self.query_interval == 0:
+            return ()
+        return tuple(range(self.query_interval, self.horizon + 1, self.query_interval))

@@ -1,0 +1,256 @@
+"""Experiment configurations for every table and figure of Section 8.
+
+The defaults match the paper: ``epsilon = 0.5``, cache flush ``f = 2000`` /
+``s = 15``, ``T = 30`` for DP-Timer, ``theta = 15`` for DP-ANT, test queries
+issued every 360 time units (six hours), Crypt-epsilon answer budget 3, and
+the June-2020 taxi workloads (43,200 time units).
+
+Every experiment accepts a ``scale`` parameter so tests and quick benchmark
+runs can use a down-scaled workload (same shape, smaller horizon); the
+benchmark harness defaults to the full-size workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.strategies.flush import FlushPolicy
+from repro.edb.base import EncryptedDatabase
+from repro.edb.crypte import CryptEpsilon
+from repro.edb.oblidb import ObliDB
+from repro.query.ast import Query
+from repro.query.sql import parse_query
+from repro.simulation.results import RunResult
+from repro.simulation.simulator import Simulation, SimulationConfig
+from repro.workload.nyc_taxi import (
+    generate_green_taxi,
+    generate_yellow_cab,
+    JUNE_2020_MINUTES,
+    GREEN_TARGET_RECORDS,
+    YELLOW_TARGET_RECORDS,
+)
+from repro.workload.stream import GrowingDatabase
+
+__all__ = [
+    "DEFAULT_EPSILON",
+    "DEFAULT_TIMER_PERIOD",
+    "DEFAULT_THETA",
+    "DEFAULT_FLUSH",
+    "DEFAULT_QUERY_INTERVAL",
+    "DEFAULT_CRYPTE_QUERY_EPSILON",
+    "ALL_STRATEGIES",
+    "EndToEndConfig",
+    "default_queries",
+    "make_backend",
+    "taxi_workloads",
+    "run_end_to_end",
+    "run_privacy_sweep",
+    "run_parameter_sweep",
+]
+
+DEFAULT_EPSILON: float = 0.5
+DEFAULT_TIMER_PERIOD: int = 30
+DEFAULT_THETA: int = 15
+DEFAULT_FLUSH: FlushPolicy = FlushPolicy(interval=2000, size=15)
+DEFAULT_QUERY_INTERVAL: int = 360
+DEFAULT_CRYPTE_QUERY_EPSILON: float = 3.0
+
+#: Strategy names of the end-to-end comparison, in the paper's order.
+ALL_STRATEGIES: tuple[str, ...] = ("sur", "set", "oto", "dp-timer", "dp-ant")
+
+#: The paper's three test queries (Section 8, "Testing query").
+Q1_SQL = "SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 50 AND 100"
+Q2_SQL = "SELECT pickupID, COUNT(*) AS PickupCnt FROM YellowCab GROUP BY pickupID"
+Q3_SQL = (
+    "SELECT COUNT(*) FROM YellowCab INNER JOIN GreenTaxi "
+    "ON YellowCab.pickTime = GreenTaxi.pickTime"
+)
+
+
+def default_queries() -> list[Query]:
+    """Q1 (range count), Q2 (group-by count), Q3 (join count)."""
+    return [
+        parse_query(Q1_SQL, label="Q1"),
+        parse_query(Q2_SQL, label="Q2"),
+        parse_query(Q3_SQL, label="Q3"),
+    ]
+
+
+def make_backend(
+    name: str,
+    seed: int = 0,
+    crypte_query_epsilon: float = DEFAULT_CRYPTE_QUERY_EPSILON,
+) -> Callable[[], EncryptedDatabase]:
+    """A factory for one of the two evaluated back-ends (``"oblidb"`` / ``"crypte"``)."""
+    key = name.lower()
+    if key in ("oblidb", "obli-db", "l0"):
+        return lambda: ObliDB(rng=np.random.default_rng(seed + 1))
+    if key in ("crypte", "crypt-epsilon", "crypteps", "ldp"):
+        return lambda: CryptEpsilon(
+            query_epsilon=crypte_query_epsilon, rng=np.random.default_rng(seed + 2)
+        )
+    raise KeyError(f"unknown back-end {name!r}; expected 'oblidb' or 'crypte'")
+
+
+def taxi_workloads(
+    scale: float = 1.0,
+    include_green: bool = True,
+    seed: int = 2020,
+) -> dict[str, GrowingDatabase]:
+    """The (possibly down-scaled) June-2020 taxi workloads.
+
+    ``scale=1.0`` reproduces the paper's setting (43,200 time units, 18,429
+    Yellow Cab and 21,300 Green Boro records).  Smaller scales shrink both
+    the horizon and the record counts proportionally while keeping the
+    diurnal shape, so the accuracy/performance trade-offs keep their shape.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    horizon = max(60, int(JUNE_2020_MINUTES * scale))
+    yellow = generate_yellow_cab(
+        rng=np.random.default_rng(seed),
+        horizon=horizon,
+        target_records=min(horizon, max(10, int(YELLOW_TARGET_RECORDS * scale))),
+    )
+    workloads: dict[str, GrowingDatabase] = {yellow.table: yellow}
+    if include_green:
+        green = generate_green_taxi(
+            rng=np.random.default_rng(seed + 1),
+            horizon=horizon,
+            target_records=min(horizon, max(10, int(GREEN_TARGET_RECORDS * scale))),
+        )
+        workloads[green.table] = green
+    return workloads
+
+
+@dataclass(frozen=True)
+class EndToEndConfig:
+    """Configuration of the Section 8.1 end-to-end comparison."""
+
+    backend: str = "oblidb"
+    strategies: tuple[str, ...] = ALL_STRATEGIES
+    epsilon: float = DEFAULT_EPSILON
+    timer_period: int = DEFAULT_TIMER_PERIOD
+    theta: int = DEFAULT_THETA
+    flush: FlushPolicy = field(default_factory=lambda: DEFAULT_FLUSH)
+    query_interval: int = DEFAULT_QUERY_INTERVAL
+    scale: float = 1.0
+    seed: int = 0
+
+    def queries_for_backend(self) -> list[Query]:
+        """Q1/Q2/Q3 for ObliDB; Crypt-epsilon does not support joins (Q3)."""
+        queries = default_queries()
+        if self.backend.startswith("crypt"):
+            return [q for q in queries if q.name != "Q3"]
+        return queries
+
+
+def run_end_to_end(config: EndToEndConfig | None = None) -> dict[str, RunResult]:
+    """Run the end-to-end comparison (Table 5, Figures 2-4) for one back-end.
+
+    Returns a mapping ``strategy name -> RunResult``.
+    """
+    config = config or EndToEndConfig()
+    include_green = not config.backend.startswith("crypt")
+    workloads = taxi_workloads(
+        scale=config.scale, include_green=include_green, seed=2020 + config.seed
+    )
+    queries = config.queries_for_backend()
+    results: dict[str, RunResult] = {}
+    for index, strategy in enumerate(config.strategies):
+        sim_config = SimulationConfig(
+            strategy=strategy,
+            epsilon=config.epsilon,
+            timer_period=config.timer_period,
+            theta=config.theta,
+            flush=config.flush,
+            query_interval=config.query_interval,
+            seed=config.seed * 1000 + index,
+        )
+        simulation = Simulation(
+            edb_factory=make_backend(config.backend, seed=config.seed),
+            workloads=workloads,
+            queries=queries,
+            config=sim_config,
+        )
+        results[strategy] = simulation.run()
+    return results
+
+
+def run_privacy_sweep(
+    epsilons: Sequence[float] = (0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 10.0),
+    backend: str = "oblidb",
+    strategies: Sequence[str] = ("dp-timer", "dp-ant"),
+    scale: float = 1.0,
+    query_interval: int = DEFAULT_QUERY_INTERVAL,
+    seed: int = 0,
+) -> dict[str, dict[float, RunResult]]:
+    """Figure 5: accuracy/performance of the DP strategies as epsilon varies.
+
+    The default query is Q2 on the ObliDB back-end, as in the paper.
+    Returns ``{strategy: {epsilon: RunResult}}``.
+    """
+    workloads = taxi_workloads(scale=scale, include_green=False, seed=2020 + seed)
+    query = [q for q in default_queries() if q.name == "Q2"]
+    results: dict[str, dict[float, RunResult]] = {s: {} for s in strategies}
+    for strategy in strategies:
+        for index, epsilon in enumerate(epsilons):
+            sim_config = SimulationConfig(
+                strategy=strategy,
+                epsilon=epsilon,
+                timer_period=DEFAULT_TIMER_PERIOD,
+                theta=DEFAULT_THETA,
+                flush=DEFAULT_FLUSH,
+                query_interval=query_interval,
+                seed=seed * 1000 + index,
+            )
+            simulation = Simulation(
+                edb_factory=make_backend(backend, seed=seed),
+                workloads=workloads,
+                queries=query,
+                config=sim_config,
+            )
+            results[strategy][epsilon] = simulation.run()
+    return results
+
+
+def run_parameter_sweep(
+    strategy: str,
+    values: Sequence[int] = (1, 10, 30, 100, 300, 1000),
+    backend: str = "oblidb",
+    epsilon: float = DEFAULT_EPSILON,
+    scale: float = 1.0,
+    query_interval: int = DEFAULT_QUERY_INTERVAL,
+    seed: int = 0,
+) -> dict[int, RunResult]:
+    """Figure 6: sweep the non-privacy parameter (T or theta) at fixed epsilon.
+
+    ``strategy`` must be ``"dp-timer"`` (sweeps T) or ``"dp-ant"`` (sweeps
+    theta).  Returns ``{parameter value: RunResult}``.
+    """
+    if strategy not in ("dp-timer", "dp-ant"):
+        raise ValueError("parameter sweeps apply to 'dp-timer' or 'dp-ant' only")
+    workloads = taxi_workloads(scale=scale, include_green=False, seed=2020 + seed)
+    query = [q for q in default_queries() if q.name == "Q2"]
+    results: dict[int, RunResult] = {}
+    for index, value in enumerate(values):
+        sim_config = SimulationConfig(
+            strategy=strategy,
+            epsilon=epsilon,
+            timer_period=value if strategy == "dp-timer" else DEFAULT_TIMER_PERIOD,
+            theta=value if strategy == "dp-ant" else DEFAULT_THETA,
+            flush=DEFAULT_FLUSH,
+            query_interval=query_interval,
+            seed=seed * 1000 + index,
+        )
+        simulation = Simulation(
+            edb_factory=make_backend(backend, seed=seed),
+            workloads=workloads,
+            queries=query,
+            config=sim_config,
+        )
+        results[value] = simulation.run()
+    return results

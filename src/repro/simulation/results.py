@@ -1,0 +1,164 @@
+"""Result containers and aggregation.
+
+A simulation run produces:
+
+* a :class:`QueryTrace` per (query, query-time): L1 error and QET;
+* a :class:`TimePoint` per query-time: outsourced/dummy sizes, storage bytes
+  and logical gap at that moment;
+* a :class:`RunResult` aggregating both into the quantities the paper
+  reports (mean/max L1 error per query, mean QET per query, mean logical
+  gap, total and dummy data size in Mb).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["QueryTrace", "TimePoint", "RunResult"]
+
+
+@dataclass(frozen=True)
+class QueryTrace:
+    """One query issuance within a run."""
+
+    time: int
+    query_name: str
+    l1_error: float
+    qet_seconds: float
+
+
+@dataclass(frozen=True)
+class TimePoint:
+    """Snapshot of the outsourced state at one (query) time."""
+
+    time: int
+    outsourced_records: int
+    dummy_records: int
+    storage_bytes: float
+    dummy_bytes: float
+    logical_gap: int
+    logical_size: int
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one (strategy, back-end, workload) simulation."""
+
+    strategy: str
+    backend: str
+    epsilon: float
+    parameters: dict = field(default_factory=dict)
+    query_traces: list[QueryTrace] = field(default_factory=list)
+    timeline: list[TimePoint] = field(default_factory=list)
+    sync_count: int = 0
+    total_update_volume: int = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def add_query_trace(self, trace: QueryTrace) -> None:
+        """Record one query issuance."""
+        self.query_traces.append(trace)
+
+    def add_time_point(self, point: TimePoint) -> None:
+        """Record one outsourced-state snapshot."""
+        self.timeline.append(point)
+
+    # -- per-query aggregates -----------------------------------------------------
+
+    def query_names(self) -> tuple[str, ...]:
+        """Distinct query names in issuance order."""
+        seen: dict[str, None] = {}
+        for trace in self.query_traces:
+            seen.setdefault(trace.query_name, None)
+        return tuple(seen)
+
+    def traces_for(self, query_name: str) -> tuple[QueryTrace, ...]:
+        """All traces of one query."""
+        return tuple(t for t in self.query_traces if t.query_name == query_name)
+
+    def mean_l1_error(self, query_name: str) -> float:
+        """Mean L1 error of one query across its issuances."""
+        traces = self.traces_for(query_name)
+        if not traces:
+            return 0.0
+        return sum(t.l1_error for t in traces) / len(traces)
+
+    def max_l1_error(self, query_name: str) -> float:
+        """Maximum L1 error of one query across its issuances."""
+        traces = self.traces_for(query_name)
+        if not traces:
+            return 0.0
+        return max(t.l1_error for t in traces)
+
+    def mean_qet(self, query_name: str) -> float:
+        """Mean query execution time of one query."""
+        traces = self.traces_for(query_name)
+        if not traces:
+            return 0.0
+        return sum(t.qet_seconds for t in traces) / len(traces)
+
+    def overall_mean_l1_error(self) -> float:
+        """Mean L1 error across every query issuance of the run."""
+        if not self.query_traces:
+            return 0.0
+        return sum(t.l1_error for t in self.query_traces) / len(self.query_traces)
+
+    def overall_mean_qet(self) -> float:
+        """Mean QET across every query issuance of the run."""
+        if not self.query_traces:
+            return 0.0
+        return sum(t.qet_seconds for t in self.query_traces) / len(self.query_traces)
+
+    # -- timeline aggregates ---------------------------------------------------------
+
+    def mean_logical_gap(self) -> float:
+        """Mean logical gap over the recorded snapshots."""
+        if not self.timeline:
+            return 0.0
+        return sum(p.logical_gap for p in self.timeline) / len(self.timeline)
+
+    def final_time_point(self) -> TimePoint | None:
+        """The last recorded snapshot (end-of-run state)."""
+        return self.timeline[-1] if self.timeline else None
+
+    def total_data_megabytes(self) -> float:
+        """Final outsourced data size in Mb (paper's "Total data (Mb)")."""
+        final = self.final_time_point()
+        return final.storage_bytes / 1e6 if final else 0.0
+
+    def dummy_data_megabytes(self) -> float:
+        """Final dummy data size in Mb (paper's "Dummy data (Mb)")."""
+        final = self.final_time_point()
+        return final.dummy_bytes / 1e6 if final else 0.0
+
+    def error_series(self, query_name: str) -> tuple[tuple[int, float], ...]:
+        """``(time, L1 error)`` series for one query (Figure 2 top rows)."""
+        return tuple((t.time, t.l1_error) for t in self.traces_for(query_name))
+
+    def qet_series(self, query_name: str) -> tuple[tuple[int, float], ...]:
+        """``(time, QET)`` series for one query (Figure 2 bottom rows)."""
+        return tuple((t.time, t.qet_seconds) for t in self.traces_for(query_name))
+
+    def size_series(self) -> tuple[tuple[int, float, float], ...]:
+        """``(time, total Mb, dummy Mb)`` series (Figure 3)."""
+        return tuple(
+            (p.time, p.storage_bytes / 1e6, p.dummy_bytes / 1e6) for p in self.timeline
+        )
+
+    # -- comparisons across runs ---------------------------------------------------------
+
+    def summary(self) -> Mapping[str, float]:
+        """Flat summary dictionary used by reports and benchmarks."""
+        summary: dict[str, float] = {
+            "mean_logical_gap": self.mean_logical_gap(),
+            "total_data_mb": self.total_data_megabytes(),
+            "dummy_data_mb": self.dummy_data_megabytes(),
+            "sync_count": float(self.sync_count),
+            "total_update_volume": float(self.total_update_volume),
+        }
+        for query_name in self.query_names():
+            summary[f"{query_name}/mean_l1"] = self.mean_l1_error(query_name)
+            summary[f"{query_name}/max_l1"] = self.max_l1_error(query_name)
+            summary[f"{query_name}/mean_qet"] = self.mean_qet(query_name)
+        return summary

@@ -1,0 +1,50 @@
+"""Workload substrate: growing databases, arrival processes and the taxi data.
+
+The paper evaluates DP-Sync on the June-2020 NYC Yellow Cab and Green Boro
+taxi trip records, replayed as a growing database with one-minute time units
+(43,200 units in June) and at most one record per minute.  This package
+provides:
+
+* :mod:`repro.workload.stream` -- the growing-database abstraction
+  (``D_0`` plus a stream of logical updates);
+* :mod:`repro.workload.generator` -- generic arrival-process generators
+  (Poisson, diurnal, bursty, sparse) used by tests and ablations;
+* :mod:`repro.workload.nyc_taxi` -- a deterministic synthetic generator that
+  reproduces the published statistics of the taxi datasets (record counts,
+  sparsity, diurnal shape, pickup-zone distribution), plus the cleaning
+  pipeline of Section 8;
+* :mod:`repro.workload.loader` -- a CSV loader for the real TLC exports, for
+  users who have downloaded them.
+"""
+
+from repro.workload.stream import GrowingDatabase
+from repro.workload.generator import (
+    bursty_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+    records_from_arrivals,
+    sparse_arrivals,
+)
+from repro.workload.nyc_taxi import (
+    GREEN_SCHEMA,
+    YELLOW_SCHEMA,
+    clean_taxi_rows,
+    generate_green_taxi,
+    generate_yellow_cab,
+)
+from repro.workload.loader import load_taxi_csv
+
+__all__ = [
+    "GREEN_SCHEMA",
+    "GrowingDatabase",
+    "YELLOW_SCHEMA",
+    "bursty_arrivals",
+    "clean_taxi_rows",
+    "diurnal_arrivals",
+    "generate_green_taxi",
+    "generate_yellow_cab",
+    "load_taxi_csv",
+    "poisson_arrivals",
+    "records_from_arrivals",
+    "sparse_arrivals",
+]

@@ -1,0 +1,185 @@
+"""Synthetic NYC taxi workloads and the paper's cleaning pipeline.
+
+The paper evaluates on the June-2020 NYC Yellow Cab and Green Boro taxi trip
+records (TLC Trip Record project).  Those CSVs are an external download, so
+the reproduction ships a deterministic synthetic generator that matches the
+published characteristics of the *cleaned* data the experiments actually
+consume:
+
+* June 2020 has 43,200 one-minute time units;
+* after cleaning, 18,429 Yellow Cab and 21,300 Green Boro records remain
+  (at most one per minute -- duplicates within a minute are dropped);
+* each record contributes a pickup zone id (``pickupID``, TLC zones 1..265,
+  heavily skewed towards a few busy zones) and its pickup minute
+  (``pickTime``), which is also the time unit at which the owner receives it;
+* arrivals follow a diurnal day/night pattern.
+
+Users who have the real CSVs can load them through
+:func:`repro.workload.loader.load_taxi_csv`; everything downstream is
+identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.edb.records import Record, Schema
+from repro.workload.stream import GrowingDatabase
+
+__all__ = [
+    "YELLOW_SCHEMA",
+    "GREEN_SCHEMA",
+    "JUNE_2020_MINUTES",
+    "YELLOW_TARGET_RECORDS",
+    "GREEN_TARGET_RECORDS",
+    "NUM_PICKUP_ZONES",
+    "clean_taxi_rows",
+    "generate_yellow_cab",
+    "generate_green_taxi",
+]
+
+#: Attributes used by the paper's queries: pickup zone and pickup minute.
+YELLOW_SCHEMA = Schema(name="YellowCab", attributes=("pickupID", "pickTime"))
+GREEN_SCHEMA = Schema(name="GreenTaxi", attributes=("pickupID", "pickTime"))
+
+#: June 2020 expressed in one-minute time units (30 days x 24 h x 60 min).
+JUNE_2020_MINUTES: int = 43_200
+
+#: Cleaned record counts reported in Section 8.
+YELLOW_TARGET_RECORDS: int = 18_429
+GREEN_TARGET_RECORDS: int = 21_300
+
+#: TLC taxi-zone ids span 1..265.
+NUM_PICKUP_ZONES: int = 265
+
+
+def clean_taxi_rows(
+    rows: Iterable[tuple[int | None, int | None]], horizon: int = JUNE_2020_MINUTES
+) -> list[tuple[int, int]]:
+    """The paper's preprocessing (Section 8, "Data").
+
+    ``rows`` are raw ``(pickup_minute, pickupID)`` pairs.  The pipeline:
+
+    1. drops rows with missing/invalid values (out-of-range minutes or zones);
+    2. deduplicates rows falling in the same minute, keeping only the first;
+    3. leaves minutes with no surviving row empty (the simulator later treats
+       them as null logical updates).
+
+    Returns the surviving ``(minute, pickupID)`` pairs sorted by minute.
+    """
+    seen_minutes: set[int] = set()
+    cleaned: list[tuple[int, int]] = []
+    for minute, zone in rows:
+        if minute is None or zone is None:
+            continue
+        if not 0 <= int(minute) <= horizon:
+            continue
+        if not 1 <= int(zone) <= NUM_PICKUP_ZONES:
+            continue
+        minute = int(minute)
+        if minute in seen_minutes:
+            continue
+        seen_minutes.add(minute)
+        cleaned.append((minute, int(zone)))
+    cleaned.sort()
+    return cleaned
+
+
+def _zone_distribution(rng: np.random.Generator) -> np.ndarray:
+    """A skewed (Zipf-like) distribution over the 265 pickup zones."""
+    ranks = np.arange(1, NUM_PICKUP_ZONES + 1, dtype=float)
+    weights = 1.0 / ranks**1.1
+    # Randomly permute which zone gets which rank so zone ids 50-100 (Q1's
+    # range) carry a realistic, non-degenerate share of the mass.
+    permutation = rng.permutation(NUM_PICKUP_ZONES)
+    permuted = np.empty_like(weights)
+    permuted[permutation] = weights
+    return permuted / permuted.sum()
+
+
+def _generate_taxi_stream(
+    schema: Schema,
+    target_records: int,
+    horizon: int,
+    rng: np.random.Generator,
+) -> GrowingDatabase:
+    """Generate a diurnal, deduplicated taxi stream with ``target_records`` rows."""
+    if target_records > horizon:
+        raise ValueError("cannot place more than one record per minute")
+    minutes_per_day = 1440
+    minute_of_day = np.arange(horizon) % minutes_per_day
+    # Diurnal weight: quiet overnight (02:00-06:00), busy during the day with
+    # an evening peak -- the qualitative shape of taxi pickups.
+    weights = (
+        0.25
+        + 0.75 * np.clip(np.sin((minute_of_day - 300) / minutes_per_day * 2 * np.pi), 0, None)
+        + 0.35 * np.exp(-((minute_of_day - 1140) ** 2) / (2 * 120.0**2))
+    )
+    weights = weights / weights.sum()
+    chosen = rng.choice(horizon, size=target_records, replace=False, p=weights)
+    chosen_minutes = np.sort(chosen)
+
+    zone_probs = _zone_distribution(rng)
+    zones = rng.choice(
+        np.arange(1, NUM_PICKUP_ZONES + 1), size=target_records, p=zone_probs
+    )
+
+    updates: list[Record | None] = [None] * horizon
+    initial: list[Record] = []
+    for minute, zone in zip(chosen_minutes, zones):
+        minute = int(minute)
+        values = {"pickupID": int(zone), "pickTime": minute}
+        record = Record(values=values, arrival_time=minute, table=schema.name)
+        if minute == 0:
+            initial.append(record)
+        else:
+            updates[minute - 1] = record
+    return GrowingDatabase(table=schema.name, initial=initial, updates=updates)
+
+
+def generate_yellow_cab(
+    rng: np.random.Generator | None = None,
+    horizon: int = JUNE_2020_MINUTES,
+    target_records: int = YELLOW_TARGET_RECORDS,
+) -> GrowingDatabase:
+    """Synthetic stand-in for the cleaned June-2020 Yellow Cab stream."""
+    rng = rng if rng is not None else np.random.default_rng(2020_06)
+    return _generate_taxi_stream(YELLOW_SCHEMA, target_records, horizon, rng)
+
+
+def generate_green_taxi(
+    rng: np.random.Generator | None = None,
+    horizon: int = JUNE_2020_MINUTES,
+    target_records: int = GREEN_TARGET_RECORDS,
+) -> GrowingDatabase:
+    """Synthetic stand-in for the cleaned June-2020 Green Boro taxi stream."""
+    rng = rng if rng is not None else np.random.default_rng(2020_07)
+    return _generate_taxi_stream(GREEN_SCHEMA, target_records, horizon, rng)
+
+
+def scaled_workloads(
+    scale: float,
+    rng: np.random.Generator | None = None,
+) -> dict[str, GrowingDatabase]:
+    """Both taxi streams scaled down by ``scale`` (horizon and record counts).
+
+    Used by tests and quick benchmark modes: ``scale=1.0`` is the paper's
+    full-size workload, ``scale=0.05`` runs in a couple of seconds.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    rng = rng if rng is not None else np.random.default_rng(7)
+    horizon = max(10, int(JUNE_2020_MINUTES * scale))
+    yellow = generate_yellow_cab(
+        rng=rng,
+        horizon=horizon,
+        target_records=min(horizon, int(YELLOW_TARGET_RECORDS * scale)),
+    )
+    green = generate_green_taxi(
+        rng=rng,
+        horizon=horizon,
+        target_records=min(horizon, int(GREEN_TARGET_RECORDS * scale)),
+    )
+    return {yellow.table: yellow, green.table: green}

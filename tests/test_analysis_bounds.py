@@ -1,0 +1,90 @@
+"""Tests for the empirical-vs-theoretical bound checks (Theorems 6-9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import BoundCheck, check_ant_bounds, check_timer_bounds
+from repro.core.strategies.flush import FlushPolicy
+from repro.workload.generator import build_growing_database, poisson_arrivals
+from repro.workload.stream import GrowingDatabase
+from repro.edb.records import Schema
+
+SCHEMA = Schema("events", ("sensor_id", "value"))
+
+
+@pytest.fixture(scope="module")
+def workload() -> GrowingDatabase:
+    rng = np.random.default_rng(0)
+    arrivals = poisson_arrivals(2000, 0.45, rng)
+
+    def sampler(t, generator):
+        return {"sensor_id": int(generator.integers(0, 10)), "value": float(t)}
+
+    return build_growing_database(SCHEMA, arrivals, sampler, rng)
+
+
+class TestTimerBounds:
+    def test_gap_bound_holds_with_high_probability(self, workload):
+        gap_checks, size_checks = check_timer_bounds(
+            workload,
+            epsilon=0.5,
+            period=25,
+            flush=FlushPolicy(interval=400, size=10),
+            beta=0.05,
+            rng=np.random.default_rng(1),
+        )
+        assert gap_checks and size_checks
+        gap_violations = sum(1 for c in gap_checks if not c.holds)
+        size_violations = sum(1 for c in size_checks if not c.holds)
+        assert gap_violations / len(gap_checks) <= 0.15
+        assert size_violations / len(size_checks) <= 0.15
+
+    def test_check_objects_are_well_formed(self, workload):
+        gap_checks, _ = check_timer_bounds(
+            workload, epsilon=1.0, period=50, rng=np.random.default_rng(2)
+        )
+        for check in gap_checks:
+            assert isinstance(check, BoundCheck)
+            assert check.bound > 0
+            assert check.observed >= 0
+            assert check.holds == (check.observed <= check.bound)
+
+    def test_tighter_epsilon_means_larger_bound(self, workload):
+        loose_gap, _ = check_timer_bounds(
+            workload, epsilon=0.1, period=50, rng=np.random.default_rng(3)
+        )
+        tight_gap, _ = check_timer_bounds(
+            workload, epsilon=2.0, period=50, rng=np.random.default_rng(3)
+        )
+        assert loose_gap[0].bound > tight_gap[0].bound
+
+
+class TestANTBounds:
+    def test_gap_bound_holds_with_high_probability(self, workload):
+        gap_checks, size_checks = check_ant_bounds(
+            workload,
+            epsilon=0.5,
+            theta=15,
+            flush=FlushPolicy(interval=400, size=10),
+            beta=0.05,
+            rng=np.random.default_rng(4),
+        )
+        assert gap_checks and size_checks
+        assert sum(1 for c in gap_checks if not c.holds) / len(gap_checks) <= 0.15
+        # The Theorem 9 size bound ignores the non-negative padding bias of a
+        # real implementation (a noisy fetch can add dummies but a negative
+        # one never removes records), so the empirical size may exceed the
+        # analytical bound by a modest margin; it must stay within ~35% of it.
+        assert all(c.observed <= 1.35 * c.bound for c in size_checks)
+
+    def test_custom_observation_times(self, workload):
+        gap_checks, _ = check_ant_bounds(
+            workload,
+            epsilon=1.0,
+            theta=10,
+            observe_times=[500, 1000, 2000],
+            rng=np.random.default_rng(5),
+        )
+        assert [c.time for c in gap_checks] == [500, 1000, 2000]

@@ -1,0 +1,125 @@
+"""Tests for trade-off summaries and the update-pattern inference attack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.attacks import infer_activity_from_pattern
+from repro.analysis.tradeoff import (
+    parameter_tradeoff_series,
+    privacy_tradeoff_series,
+    tradeoff_scatter,
+)
+from repro.core.strategies.dp_timer import DPTimerStrategy
+from repro.core.strategies.flush import FlushPolicy
+from repro.core.strategies.naive import SURStrategy
+from repro.core.update_pattern import UpdatePattern
+from repro.edb.records import Record, Schema, make_dummy_record
+from repro.simulation.results import QueryTrace, RunResult
+
+
+def make_result(strategy, epsilon, err, qet):
+    result = RunResult(strategy=strategy, backend="ObliDB", epsilon=epsilon)
+    result.add_query_trace(QueryTrace(360, "Q2", err, qet))
+    return result
+
+
+class TestTradeoffSeries:
+    def test_privacy_series_sorted_by_epsilon(self):
+        sweep = {
+            "dp-timer": {1.0: make_result("dp-timer", 1.0, 5.0, 2.0),
+                         0.1: make_result("dp-timer", 0.1, 40.0, 2.4)},
+        }
+        series = privacy_tradeoff_series(sweep)
+        assert series["dp-timer"]["error"] == [(0.1, 40.0), (1.0, 5.0)]
+        assert series["dp-timer"]["qet"][0][0] == 0.1
+
+    def test_parameter_series(self):
+        sweep = {100: make_result("dp-timer", 0.5, 20.0, 2.0),
+                 10: make_result("dp-timer", 0.5, 3.0, 2.5)}
+        series = parameter_tradeoff_series(sweep)
+        assert series["error"] == [(10.0, 3.0), (100.0, 20.0)]
+
+    def test_scatter(self):
+        results = {
+            "sur": make_result("sur", float("inf"), 0.0, 2.0),
+            "set": make_result("set", 0.0, 0.0, 5.0),
+        }
+        scatter = tradeoff_scatter(results)
+        assert scatter["sur"] == (2.0, 0.0)
+        assert scatter["set"] == (5.0, 0.0)
+
+
+SCHEMA = Schema("sensor", ("sensor_id", "event"))
+
+
+def dummy_factory(t):
+    return make_dummy_record(SCHEMA, t)
+
+
+def sensor_event(t):
+    return Record(values={"sensor_id": 1, "event": t}, arrival_time=t, table="sensor")
+
+
+def run_strategy(strategy, activity):
+    pattern = UpdatePattern()
+    gamma0 = strategy.setup([])
+    pattern.record(0, len(gamma0))
+    for t, active in enumerate(activity, start=1):
+        decision = strategy.step(t, sensor_event(t) if active else None)
+        if decision.should_sync and decision.volume:
+            pattern.record(t, decision.volume)
+    return pattern
+
+
+class TestUpdatePatternAttack:
+    """The introduction's IoT scenario: SUR leaks activity, DP strategies do not."""
+
+    @pytest.fixture
+    def activity(self):
+        rng = np.random.default_rng(0)
+        # A sparse activity trace: ~10% of minutes have a sensor event.
+        return list(rng.random(600) < 0.1)
+
+    def test_attack_on_sur_reconstructs_activity_perfectly(self, activity):
+        pattern = run_strategy(SURStrategy(dummy_factory), activity)
+        inference = infer_activity_from_pattern(pattern, activity)
+        assert inference.precision == 1.0
+        assert inference.recall == 1.0
+        assert inference.f1 == 1.0
+
+    def test_attack_on_dp_timer_degrades_sharply(self, activity):
+        strategy = DPTimerStrategy(
+            dummy_factory,
+            epsilon=0.5,
+            period=30,
+            flush=FlushPolicy.disabled(),
+            rng=np.random.default_rng(1),
+        )
+        pattern = run_strategy(strategy, activity)
+        inference = infer_activity_from_pattern(pattern, activity)
+        # Updates only ever land on period boundaries, so the adversary can
+        # recover at most one event time per window.
+        assert inference.recall < 0.35
+        assert inference.f1 < 0.5
+
+    def test_lookback_window_trades_precision_for_recall(self, activity):
+        strategy = DPTimerStrategy(
+            dummy_factory,
+            epsilon=0.5,
+            period=30,
+            flush=FlushPolicy.disabled(),
+            rng=np.random.default_rng(2),
+        )
+        pattern = run_strategy(strategy, activity)
+        narrow = infer_activity_from_pattern(pattern, activity, lookback=0)
+        wide = infer_activity_from_pattern(pattern, activity, lookback=29)
+        assert wide.recall >= narrow.recall
+        assert wide.precision <= narrow.precision + 1e-9
+
+    def test_empty_pattern_yields_zero_scores(self, activity):
+        inference = infer_activity_from_pattern(UpdatePattern(), activity)
+        assert inference.precision == 0.0
+        assert inference.recall == 0.0
+        assert inference.f1 == 0.0

@@ -1,0 +1,177 @@
+"""Tests for the DP-ANT strategy (Algorithm 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies.dp_ant import DPANTStrategy
+from repro.core.strategies.flush import FlushPolicy
+from repro.edb.records import Record, Schema, make_dummy_record
+
+SCHEMA = Schema("events", ("sensor_id", "value"))
+
+
+def dummy_factory(t):
+    return make_dummy_record(SCHEMA, t)
+
+
+def real(i):
+    return Record(values={"sensor_id": i % 5, "value": i}, arrival_time=i, table="events")
+
+
+def make_ant(epsilon=0.5, theta=15, flush=None, seed=0, budget_split=0.5):
+    return DPANTStrategy(
+        dummy_factory,
+        epsilon=epsilon,
+        theta=theta,
+        flush=flush if flush is not None else FlushPolicy.disabled(),
+        rng=np.random.default_rng(seed),
+        budget_split=budget_split,
+    )
+
+
+def drive(strategy, horizon, arrival_every=2):
+    decisions = []
+    for t in range(1, horizon + 1):
+        update = real(t) if t % arrival_every == 0 else None
+        decisions.append((t, strategy.step(t, update)))
+    return decisions
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_ant(epsilon=0.0)
+        with pytest.raises(ValueError):
+            make_ant(theta=-1)
+        with pytest.raises(ValueError):
+            make_ant(budget_split=1.5)
+
+    def test_budget_split(self):
+        strategy = make_ant(epsilon=0.8, budget_split=0.5)
+        assert strategy.epsilon_compare == pytest.approx(0.4)
+        assert strategy.epsilon_fetch == pytest.approx(0.4)
+        asymmetric = make_ant(epsilon=1.0, budget_split=0.25)
+        assert asymmetric.epsilon_compare == pytest.approx(0.25)
+        assert asymmetric.epsilon_fetch == pytest.approx(0.75)
+
+    def test_parameters_exposed(self):
+        strategy = make_ant(epsilon=0.7, theta=20)
+        assert strategy.epsilon == 0.7
+        assert strategy.theta == 20
+
+
+class TestThresholdBehaviour:
+    def test_syncs_after_roughly_theta_records(self):
+        strategy = make_ant(epsilon=2.0, theta=20, seed=1)
+        strategy.setup([])
+        received_between_syncs = []
+        count = 0
+        for t in range(1, 2001):
+            update = real(t)  # one record every step
+            count += 1
+            decision = strategy.step(t, update)
+            if decision.should_sync:
+                received_between_syncs.append(count)
+                count = 0
+        assert received_between_syncs, "DP-ANT never fired"
+        mean_gap = float(np.mean(received_between_syncs))
+        assert 10 <= mean_gap <= 30  # approximately theta = 20
+
+    def test_sparser_streams_sync_less_often(self):
+        dense = make_ant(epsilon=1.0, theta=15, seed=2)
+        dense.setup([])
+        drive(dense, 1500, arrival_every=1)
+        sparse = make_ant(epsilon=1.0, theta=15, seed=2)
+        sparse.setup([])
+        drive(sparse, 1500, arrival_every=10)
+        assert dense.sync_count > sparse.sync_count
+
+    def test_adapts_to_arrival_rate_unlike_timer(self):
+        """DP-ANT's defining behaviour: synchronization frequency tracks the
+        data rate (the paper's comparison of the two DP strategies)."""
+        fast = make_ant(epsilon=1.0, theta=10, seed=3)
+        fast.setup([])
+        drive(fast, 1000, arrival_every=1)
+        slow = make_ant(epsilon=1.0, theta=10, seed=3)
+        slow.setup([])
+        drive(slow, 1000, arrival_every=20)
+        assert fast.sync_count > max(1, slow.sync_count)
+
+    def test_held_noise_variant_adapts_sharply(self):
+        """With the comparison noise held per round (see the noise ablation),
+        the firing rate tracks the arrival rate almost proportionally."""
+
+        def make_held(seed):
+            return DPANTStrategy(
+                dummy_factory,
+                epsilon=1.0,
+                theta=10,
+                flush=FlushPolicy.disabled(),
+                rng=np.random.default_rng(seed),
+                resample_comparison_noise=False,
+            )
+
+        fast = make_held(3)
+        fast.setup([])
+        drive(fast, 1000, arrival_every=1)
+        slow = make_held(3)
+        slow.setup([])
+        drive(slow, 1000, arrival_every=20)
+        assert fast.sync_count >= 3 * max(1, slow.sync_count)
+
+    def test_flush_bounds_the_cache_even_without_crossings(self):
+        strategy = make_ant(
+            epsilon=1.0, theta=10_000, flush=FlushPolicy(interval=50, size=5), seed=4
+        )
+        strategy.setup([])
+        drive(strategy, 500, arrival_every=1)
+        # Threshold is effectively unreachable, so only flushes drain the cache.
+        assert strategy.sync_count > 0
+        assert strategy.synced_real_total > 0
+
+
+class TestVolumes:
+    def test_noisy_fetch_sizes_track_received_counts(self):
+        strategy = make_ant(epsilon=2.0, theta=25, seed=5)
+        strategy.setup([])
+        volumes = []
+        for t in range(1, 3001):
+            decision = strategy.step(t, real(t))
+            if decision.should_sync:
+                volumes.append(decision.volume)
+        assert volumes
+        assert 15 <= float(np.mean(volumes)) <= 35
+
+    def test_fifo_order_preserved(self):
+        strategy = make_ant(epsilon=2.0, theta=10, seed=6)
+        strategy.setup([])
+        uploaded = []
+        for t in range(1, 501):
+            decision = strategy.step(t, real(t))
+            uploaded.extend(r["value"] for r in decision.records if not r.is_dummy)
+        assert uploaded == sorted(uploaded)
+
+
+class TestPrivacyAccounting:
+    def test_total_epsilon_never_exceeds_budget(self):
+        strategy = make_ant(epsilon=0.5, theta=15, flush=FlushPolicy(100, 5), seed=7)
+        strategy.setup([real(0)])
+        drive(strategy, 2000, arrival_every=1)
+        assert strategy.accountant.total_epsilon() == pytest.approx(0.5)
+
+    def test_each_round_spends_full_epsilon_on_own_partition(self):
+        strategy = make_ant(epsilon=0.6, theta=10, seed=8)
+        strategy.setup([])
+        drive(strategy, 500, arrival_every=1)
+        partitions = strategy.accountant.per_partition()
+        rounds = [p for p in partitions if p.startswith("round-")]
+        assert rounds
+        assert all(partitions[r] == pytest.approx(0.6) for r in rounds)
+
+    def test_asymmetric_split_still_totals_epsilon(self):
+        strategy = make_ant(epsilon=0.5, theta=10, seed=9, budget_split=0.3)
+        strategy.setup([])
+        drive(strategy, 500, arrival_every=1)
+        assert strategy.accountant.total_epsilon() == pytest.approx(0.5)

@@ -1,0 +1,192 @@
+"""Tests for the DP-Timer strategy (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies.dp_timer import DPTimerStrategy
+from repro.core.strategies.flush import FlushPolicy
+from repro.dp.theory import timer_logical_gap_bound
+from repro.edb.records import Record, Schema, make_dummy_record
+
+SCHEMA = Schema("events", ("sensor_id", "value"))
+
+
+def dummy_factory(t):
+    return make_dummy_record(SCHEMA, t)
+
+
+def real(i):
+    return Record(values={"sensor_id": i % 5, "value": i}, arrival_time=i, table="events")
+
+
+def make_timer(epsilon=0.5, period=30, flush=None, seed=0):
+    return DPTimerStrategy(
+        dummy_factory,
+        epsilon=epsilon,
+        period=period,
+        flush=flush if flush is not None else FlushPolicy.disabled(),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def drive(strategy, horizon, arrival_every=2):
+    decisions = []
+    for t in range(1, horizon + 1):
+        update = real(t) if t % arrival_every == 0 else None
+        decisions.append((t, strategy.step(t, update)))
+    return decisions
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_timer(epsilon=0.0)
+        with pytest.raises(ValueError):
+            make_timer(period=0)
+
+    def test_parameters_exposed(self):
+        strategy = make_timer(epsilon=0.7, period=42)
+        assert strategy.epsilon == 0.7
+        assert strategy.period == 42
+        assert not strategy.flush_policy.enabled
+
+
+class TestSchedule:
+    def test_syncs_only_on_multiples_of_period(self):
+        strategy = make_timer(period=30, seed=1)
+        strategy.setup([])
+        decisions = drive(strategy, 300)
+        sync_times = [t for t, d in decisions if d.should_sync]
+        assert all(t % 30 == 0 for t in sync_times)
+
+    def test_schedule_is_data_independent(self):
+        """The *times* of synchronization never depend on the data."""
+        dense = make_timer(period=20, seed=2)
+        dense.setup([])
+        sparse = make_timer(period=20, seed=3)
+        sparse.setup([])
+        dense_times = [
+            t for t, d in ((t, dense.step(t, real(t))) for t in range(1, 201)) if d.should_sync
+        ]
+        sparse_times = [
+            t for t, d in ((t, sparse.step(t, None)) for t in range(1, 201)) if d.should_sync
+        ]
+        # Dense streams sync at (nearly) every period; sparse streams may skip
+        # a period when the noisy count is non-positive -- but any time that
+        # does appear must be a period multiple in both cases.
+        assert all(t % 20 == 0 for t in dense_times)
+        assert all(t % 20 == 0 for t in sparse_times)
+
+    def test_flush_times_also_sync(self):
+        strategy = make_timer(period=30, flush=FlushPolicy(interval=100, size=5), seed=4)
+        strategy.setup([])
+        decisions = drive(strategy, 200)
+        flush_decisions = [d for t, d in decisions if d.should_sync and "flush" in d.reason]
+        assert flush_decisions
+        assert all(d.volume >= 5 for d in flush_decisions)
+
+
+class TestVolumes:
+    def test_volumes_are_noisy_counts(self):
+        strategy = make_timer(epsilon=1.0, period=10, seed=5)
+        strategy.setup([])
+        decisions = drive(strategy, 500, arrival_every=2)
+        volumes = [d.volume for _, d in decisions if d.should_sync]
+        # Each window receives 5 records; noisy volumes should center near 5.
+        assert 3.0 <= float(np.mean(volumes)) <= 7.0
+        assert len(set(volumes)) > 1  # noise actually varies
+
+    def test_dummy_padding_when_noise_exceeds_cache(self):
+        strategy = make_timer(epsilon=0.2, period=10, seed=6)
+        strategy.setup([])
+        decisions = drive(strategy, 500, arrival_every=5)
+        assert strategy.synced_dummy_total > 0
+
+    def test_records_uploaded_in_fifo_order(self):
+        strategy = make_timer(epsilon=5.0, period=10, seed=7)
+        strategy.setup([])
+        uploaded = []
+        for t in range(1, 301):
+            decision = strategy.step(t, real(t))
+            uploaded.extend(r["value"] for r in decision.records if not r.is_dummy)
+        assert uploaded == sorted(uploaded)
+
+
+class TestCountModes:
+    def test_invalid_count_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DPTimerStrategy(dummy_factory, count_mode="bogus")
+
+    def test_default_is_window_mode(self):
+        assert make_timer().count_mode == "window"
+
+    def test_cache_mode_keeps_backlog_small(self):
+        """Perturbing the cache length drains deferred records continually,
+        so the mean gap stays near the per-window arrival count."""
+
+        def run(count_mode, seed=11):
+            strategy = DPTimerStrategy(
+                dummy_factory,
+                epsilon=0.5,
+                period=10,
+                flush=FlushPolicy.disabled(),
+                rng=np.random.default_rng(seed),
+                count_mode=count_mode,
+            )
+            strategy.setup([])
+            gaps = []
+            for t in range(1, 2001):
+                strategy.step(t, real(t) if t % 2 == 0 else None)
+                gaps.append(strategy.logical_gap)
+            return float(np.mean(gaps))
+
+        assert run("cache") < run("window")
+        assert run("cache") < 15
+
+
+class TestPrivacyAccounting:
+    def test_total_epsilon_never_exceeds_budget(self):
+        strategy = make_timer(epsilon=0.5, period=30, flush=FlushPolicy(100, 5), seed=8)
+        strategy.setup([real(0)])
+        drive(strategy, 1000)
+        assert strategy.accountant.total_epsilon() == pytest.approx(0.5)
+
+    def test_each_window_is_its_own_partition(self):
+        strategy = make_timer(epsilon=0.5, period=10, seed=9)
+        strategy.setup([])
+        drive(strategy, 100)
+        partitions = strategy.accountant.per_partition()
+        windows = [p for p in partitions if p.startswith("window-")]
+        assert len(windows) == 10
+        assert all(partitions[w] == pytest.approx(0.5) for w in windows)
+
+
+class TestAccuracyBound:
+    def test_logical_gap_respects_theorem6(self):
+        """The gap (minus the current window's arrivals) stays within the
+        Theorem 6 bound for the vast majority of synchronization points."""
+        epsilon, period, beta = 0.5, 20, 0.05
+        violations = 0
+        checks = 0
+        for seed in range(5):
+            strategy = make_timer(epsilon=epsilon, period=period, seed=seed)
+            strategy.setup([])
+            received_since_sync = 0
+            for t in range(1, 1001):
+                update = real(t) if t % 2 == 0 else None
+                if update is not None:
+                    received_since_sync += 1
+                decision = strategy.step(t, update)
+                if decision.should_sync:
+                    received_since_sync = 0
+                if t % period == 0:
+                    k = t // period
+                    bound = timer_logical_gap_bound(epsilon, k, beta)
+                    excess = strategy.logical_gap - received_since_sync
+                    checks += 1
+                    if excess > bound:
+                        violations += 1
+        assert checks > 0
+        assert violations / checks <= 2 * beta

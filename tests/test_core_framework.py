@@ -1,0 +1,147 @@
+"""Tests for the DPSync facade (Figure 1 wiring)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import DPSync
+from repro.core.strategies.dp_timer import DPTimerStrategy
+from repro.core.strategies.flush import FlushPolicy
+from repro.edb.oblidb import ObliDB
+from repro.edb.records import Record, Schema, make_dummy_record
+from repro.query.ast import CountQuery
+
+SCHEMA = Schema("events", ("sensor_id", "value"))
+
+
+def make_dpsync(strategy="dp-timer", **kwargs):
+    return DPSync(
+        SCHEMA,
+        edb=ObliDB(),
+        strategy=strategy,
+        rng=np.random.default_rng(kwargs.pop("seed", 0)),
+        **kwargs,
+    )
+
+
+class TestLifecycle:
+    def test_receive_before_start_raises(self):
+        dpsync = make_dpsync()
+        with pytest.raises(RuntimeError):
+            dpsync.receive(1, {"sensor_id": 1, "value": 2})
+
+    def test_query_before_start_raises(self):
+        dpsync = make_dpsync()
+        with pytest.raises(RuntimeError):
+            dpsync.query("SELECT COUNT(*) FROM events")
+
+    def test_double_start_raises(self):
+        dpsync = make_dpsync()
+        dpsync.start([])
+        with pytest.raises(RuntimeError):
+            dpsync.start([])
+
+    def test_start_with_mappings_and_records(self):
+        dpsync = make_dpsync(strategy="sur")
+        initial = [
+            {"sensor_id": 1, "value": 0.5},
+            Record(values={"sensor_id": 2, "value": 1.5}, table="events"),
+        ]
+        dpsync.start(initial)
+        assert dpsync.owner.logical_size == 2
+
+    def test_receive_accepts_mapping_record_and_none(self):
+        dpsync = make_dpsync(strategy="sur")
+        dpsync.start([])
+        dpsync.receive(1, {"sensor_id": 1, "value": 1.0})
+        dpsync.receive(2, Record(values={"sensor_id": 2, "value": 2.0}, arrival_time=2, table="events"))
+        decision = dpsync.receive(3, None)
+        assert not decision.should_sync
+        assert dpsync.owner.logical_size == 2
+
+    def test_record_for_other_table_rejected(self):
+        dpsync = make_dpsync()
+        dpsync.start([])
+        with pytest.raises(ValueError):
+            dpsync.receive(1, Record(values={"sensor_id": 1, "value": 1.0}, table="other"))
+
+    def test_invalid_values_rejected(self):
+        dpsync = make_dpsync()
+        dpsync.start([])
+        with pytest.raises(ValueError):
+            dpsync.receive(1, {"sensor_id": 1})
+
+
+class TestQuerying:
+    def test_sql_and_ast_queries(self):
+        dpsync = make_dpsync(strategy="sur")
+        dpsync.start([])
+        for t in range(1, 21):
+            dpsync.receive(t, {"sensor_id": t % 3, "value": float(t)})
+        sql_obs = dpsync.query("SELECT COUNT(*) FROM events")
+        ast_obs = dpsync.query(CountQuery("events", label="count"))
+        assert sql_obs.answer == 20
+        assert ast_obs.answer == 20
+        assert sql_obs.l1_error == 0.0
+
+    def test_query_error_tracks_logical_gap_for_oto(self):
+        dpsync = make_dpsync(strategy="oto")
+        dpsync.start([{"sensor_id": 0, "value": 0.0}])
+        for t in range(1, 31):
+            dpsync.receive(t, {"sensor_id": t, "value": float(t)})
+        observation = dpsync.query("SELECT COUNT(*) FROM events")
+        assert observation.true_answer == 31
+        assert observation.answer == 1
+        assert observation.l1_error == 30.0
+        assert dpsync.logical_gap == 30
+
+
+class TestStrategyIntegration:
+    def test_string_strategy_parameters_forwarded(self):
+        dpsync = make_dpsync(
+            strategy="dp-timer", epsilon=0.9, period=45, flush=FlushPolicy(100, 2)
+        )
+        assert isinstance(dpsync.strategy, DPTimerStrategy)
+        assert dpsync.epsilon == 0.9
+        assert dpsync.strategy.period == 45
+
+    def test_prebuilt_strategy_instance_accepted(self):
+        strategy = DPTimerStrategy(
+            dummy_factory=lambda t: make_dummy_record(SCHEMA, t),
+            epsilon=0.3,
+            period=10,
+            rng=np.random.default_rng(5),
+        )
+        dpsync = DPSync(SCHEMA, edb=ObliDB(), strategy=strategy)
+        assert dpsync.strategy is strategy
+        assert dpsync.epsilon == 0.3
+
+    def test_update_pattern_exposed(self):
+        dpsync = make_dpsync(strategy="dp-timer", epsilon=1.0, period=10)
+        dpsync.start([])
+        for t in range(1, 51):
+            dpsync.receive(t, {"sensor_id": 1, "value": float(t)})
+        pattern = dpsync.update_pattern
+        assert pattern.times[0] == 0
+        assert all(t % 10 == 0 for t in pattern.times)
+
+    def test_shared_edb_between_two_instances(self):
+        edb = ObliDB()
+        yellow = Schema("YellowCab", ("pickupID", "pickTime"))
+        green = Schema("GreenTaxi", ("pickupID", "pickTime"))
+        a = DPSync(yellow, edb=edb, strategy="sur", rng=np.random.default_rng(1))
+        b = DPSync(green, edb=edb, strategy="sur", rng=np.random.default_rng(2))
+        a.start([{"pickupID": 1, "pickTime": 0}])
+        b.start([{"pickupID": 2, "pickTime": 0}])
+        a.receive(1, {"pickupID": 3, "pickTime": 1})
+        b.receive(1, {"pickupID": 4, "pickTime": 1})
+        assert edb.table_size("YellowCab") == 2
+        assert edb.table_size("GreenTaxi") == 2
+
+    def test_make_dummy_and_make_record_helpers(self):
+        dpsync = make_dpsync()
+        dummy = dpsync.make_dummy(4)
+        record = dpsync.make_record({"sensor_id": 1, "value": 2.0}, arrival_time=4)
+        assert dummy.is_dummy and dummy.table == "events"
+        assert not record.is_dummy and record.arrival_time == 4

@@ -1,0 +1,47 @@
+"""Tests for the accuracy / efficiency metrics of Section 4.5."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import dummy_overhead, logical_gap, megabytes, query_error
+from repro.edb.records import Record, Schema, make_dummy_record
+
+SCHEMA = Schema("t", ("a",))
+
+
+class TestLogicalGap:
+    def test_counts(self):
+        assert logical_gap(10, 7) == 3
+        assert logical_gap(5, 5) == 0
+        assert logical_gap(3, 9) == 0  # never negative
+
+    def test_record_collections(self):
+        received = [Record(values={"a": i}, table="t") for i in range(6)]
+        outsourced = received[:4] + [make_dummy_record(SCHEMA)]
+        assert logical_gap(received, outsourced) == 2
+
+    def test_mixed_arguments(self):
+        received = [Record(values={"a": i}, table="t") for i in range(4)]
+        assert logical_gap(received, 1) == 3
+        assert logical_gap(4, received[:2]) == 2
+
+
+class TestQueryError:
+    def test_scalar(self):
+        assert query_error(100, 93) == 7.0
+
+    def test_grouped(self):
+        assert query_error({"a": 3, "b": 2}, {"a": 1, "c": 4}) == 2 + 2 + 4
+
+
+class TestDummyOverheadAndUnits:
+    def test_dummy_overhead(self):
+        assert dummy_overhead(120, 100) == 20
+        assert dummy_overhead(10, 10) == 0
+        with pytest.raises(ValueError):
+            dummy_overhead(5, 9)
+
+    def test_megabytes(self):
+        assert megabytes(2_500_000) == pytest.approx(2.5)
+        assert megabytes(0) == 0.0

@@ -1,0 +1,145 @@
+"""Tests for the naive synchronization strategies (SUR, OTO, SET)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies.naive import OTOStrategy, SETStrategy, SURStrategy
+from repro.edb.records import Record, Schema, make_dummy_record
+
+SCHEMA = Schema("events", ("sensor_id", "value"))
+
+
+def dummy_factory(t):
+    return make_dummy_record(SCHEMA, t)
+
+
+def real(i):
+    return Record(values={"sensor_id": i, "value": i}, arrival_time=i, table="events")
+
+
+def drive(strategy, updates):
+    """Feed a list of (time, record|None) into a strategy; return decisions."""
+    decisions = []
+    for time, update in updates:
+        decisions.append(strategy.step(time, update))
+    return decisions
+
+
+class TestSUR:
+    def test_epsilon_is_infinite(self):
+        assert SURStrategy(dummy_factory).epsilon == float("inf")
+
+    def test_setup_outsources_everything_immediately(self):
+        strategy = SURStrategy(dummy_factory)
+        gamma0 = strategy.setup([real(1), real(2)])
+        assert len(gamma0) == 2
+        assert strategy.logical_gap == 0
+
+    def test_syncs_exactly_on_receipt(self):
+        strategy = SURStrategy(dummy_factory)
+        strategy.setup([])
+        decisions = drive(strategy, [(1, real(1)), (2, None), (3, real(3))])
+        assert [d.should_sync for d in decisions] == [True, False, True]
+        assert all(d.volume == 1 for d in decisions if d.should_sync)
+        assert strategy.synced_dummy_total == 0
+        assert strategy.logical_gap == 0
+
+    def test_update_pattern_mirrors_arrivals(self):
+        """SUR leaks the exact arrival pattern: one update per arrival time."""
+        strategy = SURStrategy(dummy_factory)
+        strategy.setup([])
+        arrivals = [1, 4, 5, 9]
+        updates = [(t, real(t) if t in arrivals else None) for t in range(1, 11)]
+        decisions = drive(strategy, updates)
+        sync_times = [t for (t, _), d in zip(updates, decisions) if d.should_sync]
+        assert sync_times == arrivals
+
+
+class TestOTO:
+    def test_epsilon_is_zero(self):
+        assert OTOStrategy(dummy_factory).epsilon == 0.0
+
+    def test_only_initial_outsourcing(self):
+        strategy = OTOStrategy(dummy_factory)
+        gamma0 = strategy.setup([real(1), real(2), real(3)])
+        assert len(gamma0) == 3
+        decisions = drive(strategy, [(t, real(t)) for t in range(1, 21)])
+        assert not any(d.should_sync for d in decisions)
+        assert strategy.sync_count == 0
+
+    def test_logical_gap_grows_with_every_arrival(self):
+        strategy = OTOStrategy(dummy_factory)
+        strategy.setup([real(0)])
+        drive(strategy, [(t, real(t)) for t in range(1, 11)])
+        assert strategy.logical_gap == 10
+
+
+class TestSET:
+    def test_epsilon_is_zero(self):
+        assert SETStrategy(dummy_factory).epsilon == 0.0
+
+    def test_syncs_every_time_unit(self):
+        strategy = SETStrategy(dummy_factory)
+        strategy.setup([])
+        updates = [(t, real(t) if t % 3 == 0 else None) for t in range(1, 31)]
+        decisions = drive(strategy, updates)
+        assert all(d.should_sync for d in decisions)
+        assert all(d.volume == 1 for d in decisions)
+
+    def test_dummy_on_empty_time_units(self):
+        strategy = SETStrategy(dummy_factory)
+        strategy.setup([])
+        updates = [(t, real(t) if t % 3 == 0 else None) for t in range(1, 31)]
+        decisions = drive(strategy, updates)
+        dummy_updates = sum(1 for d in decisions if d.dummy_count == 1)
+        real_updates = sum(1 for d in decisions if d.real_count == 1)
+        assert real_updates == 10
+        assert dummy_updates == 20
+        assert strategy.logical_gap == 0
+
+    def test_update_pattern_is_data_independent(self):
+        """Two different arrival streams produce the identical update pattern."""
+        dense = SETStrategy(dummy_factory)
+        dense.setup([])
+        sparse = SETStrategy(dummy_factory)
+        sparse.setup([])
+        dense_decisions = drive(dense, [(t, real(t)) for t in range(1, 50)])
+        sparse_decisions = drive(sparse, [(t, None) for t in range(1, 50)])
+        assert [d.volume for d in dense_decisions] == [d.volume for d in sparse_decisions]
+        assert [d.should_sync for d in dense_decisions] == [
+            d.should_sync for d in sparse_decisions
+        ]
+
+
+class TestStrategyBaseBehaviour:
+    def test_step_before_setup_raises(self):
+        strategy = SURStrategy(dummy_factory)
+        with pytest.raises(RuntimeError):
+            strategy.step(1, real(1))
+
+    def test_double_setup_raises(self):
+        strategy = SURStrategy(dummy_factory)
+        strategy.setup([])
+        with pytest.raises(RuntimeError):
+            strategy.setup([])
+
+    def test_time_zero_step_rejected(self):
+        strategy = SETStrategy(dummy_factory)
+        strategy.setup([])
+        with pytest.raises(ValueError):
+            strategy.step(0, None)
+
+    def test_dummy_logical_update_rejected(self):
+        strategy = SURStrategy(dummy_factory)
+        strategy.setup([])
+        with pytest.raises(ValueError):
+            strategy.step(1, make_dummy_record(SCHEMA))
+
+    def test_decision_helpers(self):
+        strategy = SETStrategy(dummy_factory)
+        strategy.setup([])
+        decision = strategy.step(1, real(1))
+        assert decision.volume == decision.real_count + decision.dummy_count
+        assert decision.reason == "every-step"

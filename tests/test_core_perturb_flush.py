@@ -1,0 +1,113 @@
+"""Tests for the Perturb operator (Algorithm 2) and the cache-flush policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import LocalCache
+from repro.core.strategies.flush import FlushPolicy
+from repro.core.strategies.perturb import perturb
+from repro.edb.records import Record, Schema, make_dummy_record
+
+SCHEMA = Schema("events", ("sensor_id", "value"))
+
+
+def dummy_factory(t):
+    return make_dummy_record(SCHEMA, t)
+
+
+def filled_cache(n: int) -> LocalCache:
+    cache = LocalCache(dummy_factory)
+    for i in range(n):
+        cache.write(
+            Record(values={"sensor_id": i, "value": i}, arrival_time=i, table="events")
+        )
+    return cache
+
+
+class TestPerturb:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            perturb(-1, 0.5, filled_cache(5), np.random.default_rng(0))
+
+    def test_returns_roughly_count_records(self):
+        rng = np.random.default_rng(1)
+        sizes = [len(perturb(20, 2.0, filled_cache(100), rng)) for _ in range(200)]
+        assert 18 <= float(np.mean(sizes)) <= 22
+
+    def test_nonpositive_noisy_count_returns_nothing(self):
+        """With count 0 and reasonably large noise, empty releases must occur."""
+        rng = np.random.default_rng(2)
+        outcomes = [len(perturb(0, 0.5, filled_cache(10), rng)) for _ in range(200)]
+        assert any(size == 0 for size in outcomes)
+
+    def test_pads_with_dummies_when_cache_short(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            cache = filled_cache(2)
+            released = perturb(30, 5.0, cache, rng, current_time=7)
+            if len(released) > 2:
+                dummies = [r for r in released if r.is_dummy]
+                assert len(dummies) == len(released) - 2
+                assert all(d.arrival_time == 7 for d in dummies)
+                break
+        else:
+            pytest.fail("perturb never released more than the cached records")
+
+    def test_smaller_epsilon_gives_noisier_release_sizes(self):
+        rng = np.random.default_rng(4)
+        tight = [len(perturb(50, 5.0, filled_cache(200), rng)) for _ in range(200)]
+        loose = [len(perturb(50, 0.1, filled_cache(200), rng)) for _ in range(200)]
+        assert np.std(loose) > np.std(tight)
+
+    @given(count=st.integers(min_value=0, max_value=100), epsilon=st.floats(min_value=0.05, max_value=5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_release_size_is_never_negative(self, count, epsilon):
+        rng = np.random.default_rng(5)
+        released = perturb(count, epsilon, filled_cache(count), rng)
+        assert len(released) >= 0
+
+
+class TestFlushPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlushPolicy(interval=0)
+        with pytest.raises(ValueError):
+            FlushPolicy(interval=10, size=-1)
+
+    def test_schedule(self):
+        policy = FlushPolicy(interval=100, size=5)
+        assert not policy.should_flush(0)
+        assert not policy.should_flush(99)
+        assert policy.should_flush(100)
+        assert policy.should_flush(200)
+        assert not policy.should_flush(150)
+
+    def test_disabled_policy_never_flushes(self):
+        policy = FlushPolicy.disabled()
+        assert not any(policy.should_flush(t) for t in range(1, 1000))
+        assert policy.dummy_volume_by(10_000) == 0
+
+    def test_zero_size_never_flushes(self):
+        policy = FlushPolicy(interval=10, size=0)
+        assert not policy.should_flush(10)
+
+    def test_eta_term(self):
+        policy = FlushPolicy(interval=2000, size=15)
+        assert policy.dummy_volume_by(1999) == 0
+        assert policy.dummy_volume_by(2000) == 15
+        assert policy.dummy_volume_by(43_200) == 15 * 21
+
+    @given(
+        interval=st.integers(min_value=1, max_value=5000),
+        size=st.integers(min_value=0, max_value=50),
+        horizon=st.integers(min_value=0, max_value=20_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_flush_count_matches_eta(self, interval, size, horizon):
+        policy = FlushPolicy(interval=interval, size=size)
+        flushes = sum(1 for t in range(1, horizon + 1) if policy.should_flush(t))
+        assert flushes * size == policy.dummy_volume_by(horizon)

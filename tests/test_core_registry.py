@@ -1,0 +1,78 @@
+"""Tests for the strategy registry / factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CacheMode
+from repro.core.strategies.dp_ant import DPANTStrategy
+from repro.core.strategies.dp_timer import DPTimerStrategy
+from repro.core.strategies.flush import FlushPolicy
+from repro.core.strategies.naive import OTOStrategy, SETStrategy, SURStrategy
+from repro.core.strategies.registry import available_strategies, make_strategy
+from repro.edb.records import Schema, make_dummy_record
+
+SCHEMA = Schema("events", ("sensor_id", "value"))
+
+
+def dummy_factory(t):
+    return make_dummy_record(SCHEMA, t)
+
+
+class TestRegistry:
+    def test_available_strategies(self):
+        assert set(available_strategies()) == {"sur", "oto", "set", "dp-timer", "dp-ant"}
+
+    @pytest.mark.parametrize(
+        ("name", "cls"),
+        [
+            ("sur", SURStrategy),
+            ("oto", OTOStrategy),
+            ("set", SETStrategy),
+            ("dp-timer", DPTimerStrategy),
+            ("dp-ant", DPANTStrategy),
+        ],
+    )
+    def test_factory_builds_correct_class(self, name, cls):
+        strategy = make_strategy(name, dummy_factory)
+        assert isinstance(strategy, cls)
+
+    def test_name_normalization(self):
+        assert isinstance(make_strategy("DP_TIMER", dummy_factory), DPTimerStrategy)
+        assert isinstance(make_strategy("Dp-Ant", dummy_factory), DPANTStrategy)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_strategy("magic", dummy_factory)
+
+    def test_dp_parameters_forwarded(self):
+        flush = FlushPolicy(interval=500, size=3)
+        timer = make_strategy(
+            "dp-timer", dummy_factory, epsilon=0.9, period=77, flush=flush
+        )
+        assert timer.epsilon == 0.9
+        assert timer.period == 77
+        assert timer.flush_policy == flush
+        ant = make_strategy("dp-ant", dummy_factory, epsilon=0.9, theta=99, flush=flush)
+        assert ant.epsilon == 0.9
+        assert ant.theta == 99
+
+    def test_cache_mode_forwarded(self):
+        strategy = make_strategy("set", dummy_factory, cache_mode=CacheMode.LIFO)
+        assert strategy.cache.mode is CacheMode.LIFO
+
+    def test_rng_forwarded_makes_runs_reproducible(self):
+        def build():
+            return make_strategy(
+                "dp-timer", dummy_factory, rng=np.random.default_rng(42), epsilon=1.0, period=5
+            )
+
+        first, second = build(), build()
+        first.setup([])
+        second.setup([])
+        volumes_first, volumes_second = [], []
+        for t in range(1, 101):
+            volumes_first.append(first.step(t, None).volume)
+            volumes_second.append(second.step(t, None).volume)
+        assert volumes_first == volumes_second

@@ -1,0 +1,75 @@
+"""Tests for the update-pattern transcript (Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.update_pattern import UpdateEvent, UpdatePattern
+
+
+class TestUpdateEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UpdateEvent(time=-1, volume=3)
+        with pytest.raises(ValueError):
+            UpdateEvent(time=0, volume=-2)
+
+    def test_fields(self):
+        event = UpdateEvent(time=30, volume=5)
+        assert event.time == 30
+        assert event.volume == 5
+
+
+class TestUpdatePattern:
+    def test_record_and_views(self):
+        pattern = UpdatePattern()
+        pattern.record(0, 5)
+        pattern.record(30, 4)
+        pattern.record(60, 6)
+        assert len(pattern) == 3
+        assert pattern.times == (0, 30, 60)
+        assert pattern.volumes == (5, 4, 6)
+        assert pattern.total_volume() == 15
+        assert pattern.as_tuples() == ((0, 5), (30, 4), (60, 6))
+
+    def test_paper_example(self):
+        """Example 4.1: 5 records synchronized every 30 minutes."""
+        pattern = UpdatePattern.from_volumes([(0, 5), (30, 5), (60, 5), (90, 5)])
+        assert pattern.as_tuples() == ((0, 5), (30, 5), (60, 5), (90, 5))
+
+    def test_out_of_order_recording_rejected(self):
+        pattern = UpdatePattern()
+        pattern.record(10, 1)
+        with pytest.raises(ValueError):
+            pattern.record(5, 1)
+
+    def test_same_time_allowed(self):
+        pattern = UpdatePattern()
+        pattern.record(10, 1)
+        pattern.record(10, 2)
+        assert pattern.volume_at(10) == 3
+
+    def test_volume_at_missing_time_is_zero(self):
+        pattern = UpdatePattern.from_volumes([(5, 2)])
+        assert pattern.volume_at(99) == 0
+
+    def test_volumes_on_schedule(self):
+        pattern = UpdatePattern.from_volumes([(0, 3), (30, 2), (90, 7)])
+        assert pattern.volumes_on_schedule([0, 30, 60, 90]) == (3, 2, 0, 7)
+
+    def test_iteration(self):
+        pattern = UpdatePattern.from_volumes([(0, 1), (1, 2)])
+        assert [e.volume for e in pattern] == [1, 2]
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 1000), st.integers(0, 50)), max_size=50
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_from_volumes_total_is_sum(self, pairs):
+        pattern = UpdatePattern.from_volumes(pairs)
+        assert pattern.total_volume() == sum(v for _, v in pairs)
+        assert list(pattern.times) == sorted(pattern.times)

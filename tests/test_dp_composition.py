@@ -1,0 +1,126 @@
+"""Tests for composition theorems and the privacy accountant."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.composition import (
+    BudgetExceededError,
+    PrivacyAccountant,
+    PrivacySpend,
+    parallel_composition,
+    sequential_composition,
+)
+
+
+class TestCompositionRules:
+    def test_sequential_sums(self):
+        assert sequential_composition([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+        assert sequential_composition([]) == 0.0
+
+    def test_parallel_takes_max(self):
+        assert parallel_composition([0.1, 0.5, 0.3]) == pytest.approx(0.5)
+        assert parallel_composition([]) == 0.0
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_composition([0.1, -0.2])
+        with pytest.raises(ValueError):
+            parallel_composition([-0.1])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_parallel_never_exceeds_sequential(self, epsilons):
+        assert parallel_composition(epsilons) <= sequential_composition(epsilons) + 1e-9
+
+
+class TestPrivacySpend:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PrivacySpend(epsilon=-0.1, partition="p")
+
+    def test_fields(self):
+        spend = PrivacySpend(epsilon=0.5, partition="setup", label="M_setup")
+        assert spend.epsilon == 0.5
+        assert spend.partition == "setup"
+        assert spend.label == "M_setup"
+
+
+class TestPrivacyAccountant:
+    def test_same_partition_composes_sequentially(self):
+        accountant = PrivacyAccountant()
+        accountant.spend(0.2, "window-1")
+        accountant.spend(0.3, "window-1")
+        assert accountant.total_epsilon() == pytest.approx(0.5)
+
+    def test_different_partitions_compose_in_parallel(self):
+        accountant = PrivacyAccountant()
+        accountant.spend(0.5, "window-1")
+        accountant.spend(0.5, "window-2")
+        accountant.spend(0.5, "window-3")
+        assert accountant.total_epsilon() == pytest.approx(0.5)
+
+    def test_mixed_composition_matches_dp_timer_structure(self):
+        """Setup + many windows + flush == epsilon overall (Theorem 10 shape)."""
+        epsilon = 0.5
+        accountant = PrivacyAccountant()
+        accountant.spend(epsilon, "setup")
+        for window in range(100):
+            accountant.spend(epsilon, f"window-{window}")
+        accountant.spend(0.0, "flush")
+        assert accountant.total_epsilon() == pytest.approx(epsilon)
+
+    def test_budget_enforcement(self):
+        accountant = PrivacyAccountant(budget=0.5)
+        accountant.spend(0.3, "a")
+        with pytest.raises(BudgetExceededError):
+            accountant.spend(0.3, "a")
+        # Parallel spends on a different partition stay inside the budget.
+        accountant.spend(0.5, "b")
+        assert accountant.total_epsilon() == pytest.approx(0.5)
+
+    def test_rejected_spend_is_not_recorded(self):
+        accountant = PrivacyAccountant(budget=0.1)
+        with pytest.raises(BudgetExceededError):
+            accountant.spend(0.2, "a")
+        assert accountant.total_epsilon() == 0.0
+        assert len(accountant.spends) == 0
+
+    def test_per_partition_and_remaining(self):
+        accountant = PrivacyAccountant(budget=1.0)
+        accountant.spend(0.25, "a")
+        accountant.spend(0.25, "a")
+        accountant.spend(0.1, "b")
+        assert accountant.per_partition() == pytest.approx({"a": 0.5, "b": 0.1})
+        assert accountant.remaining() == pytest.approx(0.5)
+
+    def test_remaining_without_budget_is_none(self):
+        assert PrivacyAccountant().remaining() is None
+
+    def test_reset(self):
+        accountant = PrivacyAccountant()
+        accountant.spend(0.4, "a")
+        accountant.reset()
+        assert accountant.total_epsilon() == 0.0
+        assert accountant.spends == ()
+
+    @given(
+        spends=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),
+                st.sampled_from(["a", "b", "c", "d"]),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_total_epsilon_is_max_of_partition_sums(self, spends):
+        accountant = PrivacyAccountant()
+        totals: dict[str, float] = {}
+        for epsilon, partition in spends:
+            accountant.spend(epsilon, partition)
+            totals[partition] = totals.get(partition, 0.0) + epsilon
+        expected = max(totals.values()) if totals else 0.0
+        assert accountant.total_epsilon() == pytest.approx(expected)

@@ -1,0 +1,152 @@
+"""Tests for the Laplace distribution utilities and concentration bounds."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.laplace import (
+    LaplaceDistribution,
+    laplace_sum_quantile,
+    laplace_sum_tail_bound,
+    laplace_tail_bound,
+    max_partial_sum_quantile,
+)
+
+
+class TestLaplaceDistribution:
+    def test_requires_positive_scale(self):
+        with pytest.raises(ValueError):
+            LaplaceDistribution(scale=0.0)
+        with pytest.raises(ValueError):
+            LaplaceDistribution(scale=-1.0)
+
+    def test_pdf_integrates_to_one(self):
+        dist = LaplaceDistribution(loc=0.0, scale=2.0)
+        xs = np.linspace(-60, 60, 200_001)
+        density = np.array([dist.pdf(x) for x in xs])
+        integral = np.trapezoid(density, xs)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_monotone_and_bounded(self):
+        dist = LaplaceDistribution(scale=1.5)
+        xs = np.linspace(-20, 20, 101)
+        cdfs = [dist.cdf(x) for x in xs]
+        assert all(0.0 <= c <= 1.0 for c in cdfs)
+        assert all(a <= b + 1e-12 for a, b in zip(cdfs, cdfs[1:]))
+        assert dist.cdf(0.0) == pytest.approx(0.5)
+
+    def test_quantile_inverts_cdf(self):
+        dist = LaplaceDistribution(loc=1.0, scale=0.7)
+        for p in (0.01, 0.25, 0.5, 0.75, 0.99):
+            assert dist.cdf(dist.quantile(p)) == pytest.approx(p, abs=1e-9)
+
+    def test_quantile_rejects_bad_probability(self):
+        dist = LaplaceDistribution()
+        for p in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                dist.quantile(p)
+
+    def test_variance(self):
+        assert LaplaceDistribution(scale=3.0).variance == pytest.approx(18.0)
+
+    def test_sampling_matches_moments(self):
+        dist = LaplaceDistribution(loc=2.0, scale=1.0)
+        rng = np.random.default_rng(0)
+        samples = dist.sample(rng, size=200_000)
+        assert np.mean(samples) == pytest.approx(2.0, abs=0.02)
+        assert np.var(samples) == pytest.approx(2.0, abs=0.05)
+
+    def test_tail_probability(self):
+        dist = LaplaceDistribution(scale=2.0)
+        assert dist.tail(0.0) == pytest.approx(1.0)
+        assert dist.tail(2.0) == pytest.approx(math.exp(-1.0))
+        with pytest.raises(ValueError):
+            dist.tail(-1.0)
+
+
+class TestTailBounds:
+    def test_single_variable_tail(self):
+        assert laplace_tail_bound(1.0, 0.0) == 1.0
+        assert laplace_tail_bound(2.0, 2.0) == pytest.approx(math.exp(-1.0))
+        with pytest.raises(ValueError):
+            laplace_tail_bound(0.0, 1.0)
+        with pytest.raises(ValueError):
+            laplace_tail_bound(1.0, -1.0)
+
+    def test_sum_tail_bound_formula(self):
+        # Lemma 19 with alpha inside the valid regime.
+        k, scale, alpha = 16, 2.0, 10.0
+        expected = math.exp(-(alpha**2) / (4 * k * scale**2))
+        assert laplace_sum_tail_bound(k, scale, alpha) == pytest.approx(expected)
+
+    def test_sum_tail_bound_trivial_for_nonpositive_alpha(self):
+        assert laplace_sum_tail_bound(5, 1.0, 0.0) == 1.0
+        assert laplace_sum_tail_bound(5, 1.0, -3.0) == 1.0
+
+    def test_sum_tail_bound_is_valid_empirically(self):
+        """The Lemma 19 bound must upper-bound the empirical tail probability."""
+        rng = np.random.default_rng(7)
+        k, scale = 20, 1.0
+        sums = rng.laplace(0.0, scale, size=(50_000, k)).sum(axis=1)
+        for alpha in (5.0, 10.0, 15.0, 20.0):
+            empirical = float(np.mean(sums >= alpha))
+            assert empirical <= laplace_sum_tail_bound(k, scale, alpha) + 0.01
+
+    def test_sum_quantile_matches_corollary20(self):
+        k, scale, beta = 25, 2.0, 0.05
+        expected = 2 * scale * math.sqrt(k * math.log(1 / beta))
+        assert laplace_sum_quantile(k, scale, beta) == pytest.approx(expected)
+
+    def test_sum_quantile_holds_empirically(self):
+        rng = np.random.default_rng(11)
+        k, scale, beta = 40, 1.0, 0.05
+        quantile = laplace_sum_quantile(k, scale, beta)
+        sums = rng.laplace(0.0, scale, size=(20_000, k)).sum(axis=1)
+        assert float(np.mean(sums >= quantile)) <= beta
+
+    def test_max_partial_sum_quantile_holds_empirically(self):
+        """Corollary 21: the bound also covers the max over prefix sums."""
+        rng = np.random.default_rng(13)
+        k, scale, beta = 40, 1.0, 0.05
+        quantile = max_partial_sum_quantile(k, scale, beta)
+        draws = rng.laplace(0.0, scale, size=(20_000, k))
+        prefix_max = np.maximum.accumulate(np.cumsum(draws, axis=1), axis=1)[:, -1]
+        assert float(np.mean(prefix_max >= quantile)) <= beta
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            laplace_sum_tail_bound(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            laplace_sum_tail_bound(5, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            laplace_sum_quantile(5, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            laplace_sum_quantile(0, 1.0, 0.5)
+
+
+class TestLaplaceProperties:
+    @given(
+        scale=st.floats(min_value=0.01, max_value=100.0),
+        x=st.floats(min_value=-1000.0, max_value=1000.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_in_unit_interval(self, scale, x):
+        dist = LaplaceDistribution(scale=scale)
+        assert 0.0 <= dist.cdf(x) <= 1.0
+
+    @given(
+        k=st.integers(min_value=1, max_value=500),
+        scale=st.floats(min_value=0.01, max_value=50.0),
+        beta=st.floats(min_value=0.001, max_value=0.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_positive_and_monotone_in_k(self, k, scale, beta):
+        smaller = laplace_sum_quantile(k, scale, beta)
+        larger = laplace_sum_quantile(k + 1, scale, beta)
+        assert smaller > 0
+        assert larger >= smaller

@@ -1,0 +1,128 @@
+"""Tests for the Theorem 6-9 bounds and the Table 2 comparison."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.theory import (
+    StrategyBounds,
+    ant_logical_gap_bound,
+    ant_outsourced_bound,
+    flush_dummy_bound,
+    numeric_comparison,
+    strategy_comparison_table,
+    timer_logical_gap_bound,
+    timer_outsourced_bound,
+)
+
+
+class TestTimerBounds:
+    def test_matches_theorem6_formula(self):
+        epsilon, k, beta = 0.5, 16, 0.05
+        expected = (2.0 / epsilon) * math.sqrt(k * math.log(1 / beta))
+        assert timer_logical_gap_bound(epsilon, k, beta) == pytest.approx(expected)
+
+    def test_monotonicity(self):
+        assert timer_logical_gap_bound(0.5, 10, 0.05) < timer_logical_gap_bound(0.5, 40, 0.05)
+        assert timer_logical_gap_bound(1.0, 10, 0.05) < timer_logical_gap_bound(0.1, 10, 0.05)
+        assert timer_logical_gap_bound(0.5, 10, 0.01) > timer_logical_gap_bound(0.5, 10, 0.2)
+
+    def test_outsourced_bound_adds_flush_term(self):
+        base = timer_outsourced_bound(1000, 0.5, 10, 4000, 2000, 15, 0.05)
+        no_flush = timer_outsourced_bound(1000, 0.5, 10, 4000, 2000, 0, 0.05)
+        assert base - no_flush == pytest.approx(15 * 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            timer_logical_gap_bound(0.0, 5, 0.05)
+        with pytest.raises(ValueError):
+            timer_logical_gap_bound(0.5, 0, 0.05)
+
+
+class TestANTBounds:
+    def test_matches_theorem8_formula(self):
+        epsilon, t, beta = 0.5, 1000, 0.05
+        expected = 16.0 * (math.log(t) + math.log(2 / beta)) / epsilon
+        assert ant_logical_gap_bound(epsilon, t, beta) == pytest.approx(expected)
+
+    def test_grows_logarithmically_in_time(self):
+        small = ant_logical_gap_bound(0.5, 100, 0.05)
+        large = ant_logical_gap_bound(0.5, 10_000, 0.05)
+        assert large > small
+        assert large - small == pytest.approx(16.0 / 0.5 * math.log(100), rel=1e-9)
+
+    def test_outsourced_bound(self):
+        value = ant_outsourced_bound(500, 1.0, 2000, 1000, 10, 0.1)
+        expected = 500 + ant_logical_gap_bound(1.0, 2000, 0.1) + 10 * 2
+        assert value == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ant_logical_gap_bound(-1.0, 10, 0.05)
+        with pytest.raises(ValueError):
+            ant_logical_gap_bound(0.5, 0, 0.05)
+        with pytest.raises(ValueError):
+            ant_logical_gap_bound(0.5, 10, 1.5)
+
+
+class TestFlushTerm:
+    def test_eta_formula(self):
+        assert flush_dummy_bound(4300, 2000, 15) == 15 * 2
+        assert flush_dummy_bound(1999, 2000, 15) == 0
+        assert flush_dummy_bound(0, 2000, 15) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flush_dummy_bound(10, 0, 15)
+        with pytest.raises(ValueError):
+            flush_dummy_bound(-1, 2000, 15)
+        with pytest.raises(ValueError):
+            flush_dummy_bound(10, 2000, -1)
+
+    @given(
+        t=st.integers(min_value=0, max_value=100_000),
+        f=st.integers(min_value=1, max_value=10_000),
+        s=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_eta_never_exceeds_linear_growth(self, t, f, s):
+        assert flush_dummy_bound(t, f, s) <= s * t / f + s
+
+
+class TestTable2:
+    def test_has_all_five_strategies(self):
+        table = strategy_comparison_table()
+        names = [row.strategy for row in table]
+        assert names == ["SUR", "OTO", "SET", "DP-Timer", "DP-ANT"]
+        assert all(isinstance(row, StrategyBounds) for row in table)
+
+    def test_privacy_column(self):
+        table = {row.strategy: row for row in strategy_comparison_table()}
+        assert table["SUR"].group_privacy == "inf-DP"
+        assert table["OTO"].group_privacy == "0-DP"
+        assert table["SET"].group_privacy == "0-DP"
+        assert table["DP-Timer"].group_privacy == "eps-DP"
+        assert table["DP-ANT"].group_privacy == "eps-DP"
+
+    def test_numeric_comparison_shape(self):
+        numbers = numeric_comparison(
+            epsilon=0.5,
+            t=43_200,
+            k=1440,
+            logical_size=18_429,
+            initial_size=1,
+            flush_interval=2000,
+            flush_size=15,
+        )
+        assert set(numbers) == {"SUR", "OTO", "SET", "DP-Timer", "DP-ANT"}
+        assert numbers["SUR"]["logical_gap"] == 0.0
+        assert numbers["SET"]["outsourced"] == pytest.approx(1 + 43_200)
+        assert numbers["OTO"]["logical_gap"] == pytest.approx(18_428)
+        # DP strategies: bounded overhead, far below SET's.
+        assert numbers["DP-Timer"]["outsourced"] < numbers["SET"]["outsourced"]
+        assert numbers["DP-ANT"]["outsourced"] < numbers["SET"]["outsourced"]
+        assert numbers["DP-Timer"]["logical_gap"] > 0

@@ -1,0 +1,123 @@
+"""Tests for the simulated record encryption.
+
+The property DP-Sync relies on is that encrypted dummy records are
+indistinguishable from encrypted real records: same ciphertext size, no
+plaintext-dependent structure, round-trip correctness.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edb.crypto import CIPHERTEXT_SIZE, EncryptedRecord, RecordCipher
+from repro.edb.records import Record, Schema, make_dummy_record
+
+
+@pytest.fixture
+def cipher() -> RecordCipher:
+    return RecordCipher(key=b"0" * 32)
+
+
+class TestRecordCipher:
+    def test_round_trip(self, cipher):
+        record = Record(values={"a": 5, "b": "hello"}, arrival_time=9, table="t")
+        encrypted = cipher.encrypt(record)
+        decrypted = cipher.decrypt(encrypted)
+        assert decrypted.values == record.values
+        assert decrypted.arrival_time == record.arrival_time
+        assert decrypted.is_dummy == record.is_dummy
+        assert decrypted.table == record.table
+
+    def test_round_trip_dummy(self, cipher):
+        schema = Schema("t", ("a", "b"))
+        dummy = make_dummy_record(schema, arrival_time=3)
+        decrypted = cipher.decrypt(cipher.encrypt(dummy))
+        assert decrypted.is_dummy
+
+    def test_fixed_ciphertext_size(self, cipher):
+        schema = Schema("t", ("a", "b"))
+        real = Record(values={"a": 123456, "b": "payload-string"}, table="t")
+        dummy = make_dummy_record(schema)
+        sizes = {
+            len(cipher.encrypt(real).ciphertext),
+            len(cipher.encrypt(dummy).ciphertext),
+            len(cipher.encrypt(Record(values={"x": 1})).ciphertext),
+        }
+        assert sizes == {CIPHERTEXT_SIZE}
+
+    def test_same_plaintext_encrypts_differently(self, cipher):
+        record = Record(values={"a": 1}, table="t")
+        first = cipher.encrypt(record)
+        second = cipher.encrypt(record)
+        assert first.ciphertext != second.ciphertext
+
+    def test_handles_are_unique(self, cipher):
+        record = Record(values={"a": 1})
+        handles = {cipher.encrypt(record).handle for _ in range(20)}
+        assert len(handles) == 20
+
+    def test_tampering_detected(self, cipher):
+        record = Record(values={"a": 1})
+        encrypted = cipher.encrypt(record)
+        tampered_bytes = bytearray(encrypted.ciphertext)
+        tampered_bytes[20] ^= 0xFF
+        tampered = EncryptedRecord(ciphertext=bytes(tampered_bytes), handle=encrypted.handle)
+        with pytest.raises(ValueError):
+            cipher.decrypt(tampered)
+
+    def test_wrong_key_fails_authentication(self):
+        record = Record(values={"a": 1})
+        alice = RecordCipher(key=b"a" * 32)
+        bob = RecordCipher(key=b"b" * 32)
+        encrypted = alice.encrypt(record)
+        with pytest.raises(ValueError):
+            bob.decrypt(encrypted)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            RecordCipher(key=b"short")
+
+    def test_oversized_record_rejected(self, cipher):
+        record = Record(values={"blob": "x" * 500})
+        with pytest.raises(ValueError):
+            cipher.encrypt(record)
+
+    def test_invalid_ciphertext_length_rejected(self):
+        with pytest.raises(ValueError):
+            EncryptedRecord(ciphertext=b"too-short", handle=0)
+
+
+class TestIndistinguishability:
+    def test_dummy_vs_real_ciphertext_lengths_identical(self):
+        """The server-observable footprint never depends on the dummy flag."""
+        cipher = RecordCipher()
+        schema = Schema("YellowCab", ("pickupID", "pickTime"))
+        real = Record(values={"pickupID": 75, "pickTime": 120}, table=schema.name)
+        dummy = make_dummy_record(schema)
+        real_sizes = [cipher.encrypt(real).size_bytes for _ in range(10)]
+        dummy_sizes = [cipher.encrypt(dummy).size_bytes for _ in range(10)]
+        assert set(real_sizes) == set(dummy_sizes) == {CIPHERTEXT_SIZE}
+
+    def test_ciphertext_bytes_look_uniform(self):
+        """Byte-level sanity check: ciphertext bodies are not constant."""
+        cipher = RecordCipher()
+        record = Record(values={"a": 1})
+        bodies = [cipher.encrypt(record).ciphertext for _ in range(5)]
+        assert len({body[:64] for body in bodies}) == 5
+
+    @given(
+        pickup=st.integers(min_value=1, max_value=265),
+        minute=st.integers(min_value=0, max_value=43_200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_over_taxi_domain(self, pickup, minute):
+        cipher = RecordCipher(key=b"k" * 32)
+        record = Record(
+            values={"pickupID": pickup, "pickTime": minute},
+            arrival_time=minute,
+            table="YellowCab",
+        )
+        decrypted = cipher.decrypt(cipher.encrypt(record))
+        assert decrypted.values == {"pickupID": pickup, "pickTime": minute}

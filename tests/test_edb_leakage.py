@@ -1,0 +1,101 @@
+"""Tests for the leakage classification (Section 6, Table 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.edb.leakage import (
+    SCHEME_REGISTRY,
+    LeakageClass,
+    LeakageProfile,
+    SchemeInfo,
+    classify_scheme,
+    compatible_with_dpsync,
+    leakage_group_table,
+)
+
+
+class TestLeakageClass:
+    def test_all_four_groups_exist(self):
+        assert {c.value for c in LeakageClass} == {"L-0", "L-DP", "L-1", "L-2"}
+
+    def test_descriptions_are_informative(self):
+        for leakage_class in LeakageClass:
+            assert len(leakage_class.description) > 10
+
+
+class TestSchemeRegistry:
+    def test_contains_papers_examples(self):
+        names = {scheme.name for scheme in SCHEME_REGISTRY}
+        for expected in ("ObliDB", "Crypt-epsilon", "CryptDB", "StealthDB", "Shrinkwrap"):
+            assert expected in names
+
+    def test_classify_known_schemes(self):
+        assert classify_scheme("ObliDB") is LeakageClass.L0
+        assert classify_scheme("crypt-epsilon") is LeakageClass.LDP
+        assert classify_scheme("StealthDB") is LeakageClass.L1
+        assert classify_scheme("CryptDB") is LeakageClass.L2
+
+    def test_classify_unknown_scheme_raises(self):
+        with pytest.raises(KeyError):
+            classify_scheme("NotARealDatabase")
+
+    def test_leakage_group_table_covers_registry(self):
+        table = leakage_group_table()
+        total = sum(len(v) for v in table.values())
+        assert total == len(SCHEME_REGISTRY)
+        assert "ObliDB" in table[LeakageClass.L0]
+        assert "Crypt-epsilon" in table[LeakageClass.LDP]
+        assert "CryptDB" in table[LeakageClass.L2]
+
+
+class TestCompatibilityRule:
+    def test_l0_and_ldp_compatible(self):
+        assert compatible_with_dpsync("ObliDB")
+        assert compatible_with_dpsync("Crypt-epsilon")
+
+    def test_l1_and_l2_incompatible(self):
+        assert not compatible_with_dpsync("StealthDB")
+        assert not compatible_with_dpsync("CryptDB")
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError):
+            compatible_with_dpsync("NotARealDatabase")
+
+    def test_static_scheme_incompatible_even_if_l0(self):
+        static = SchemeInfo("StaticScheme", LeakageClass.L0, supports_updates=False)
+        assert not compatible_with_dpsync(static)
+
+    def test_batched_encryption_incompatible(self):
+        batched = SchemeInfo("BatchedHE", LeakageClass.L0, atomic_encryption=False)
+        assert not compatible_with_dpsync(batched)
+
+
+class TestLeakageProfile:
+    def test_l0_profile_compatible(self):
+        profile = LeakageProfile(scheme="ObliDB", query_class=LeakageClass.L0)
+        assert profile.is_dpsync_compatible()
+
+    def test_profile_with_extra_update_leakage_incompatible(self):
+        profile = LeakageProfile(
+            scheme="LeakyDB",
+            query_class=LeakageClass.L0,
+            update_leaks_only_pattern=False,
+        )
+        assert not profile.is_dpsync_compatible()
+
+    def test_access_pattern_leak_incompatible(self):
+        profile = LeakageProfile(
+            scheme="SSE",
+            query_class=LeakageClass.L2,
+            reveals_access_pattern=True,
+        )
+        assert not profile.is_dpsync_compatible()
+
+    def test_volume_leaking_l1_incompatible(self):
+        profile = LeakageProfile(
+            scheme="SisoSPIR",
+            query_class=LeakageClass.L1,
+            reveals_exact_volume=True,
+        )
+        assert not profile.is_dpsync_compatible()

@@ -1,0 +1,135 @@
+"""Tests for the Path ORAM simulator, including its obliviousness property."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edb.oram import PathORAM
+
+
+class TestPathORAMBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathORAM(capacity=0)
+        with pytest.raises(ValueError):
+            PathORAM(capacity=16, bucket_size=0)
+
+    def test_write_then_read(self):
+        oram = PathORAM(capacity=64, rng=np.random.default_rng(0))
+        oram.write(1, "alpha")
+        oram.write(2, "beta")
+        assert oram.read(1) == "alpha"
+        assert oram.read(2) == "beta"
+        assert len(oram) == 2
+
+    def test_overwrite(self):
+        oram = PathORAM(capacity=16, rng=np.random.default_rng(1))
+        oram.write(5, "old")
+        oram.write(5, "new")
+        assert oram.read(5) == "new"
+        assert len(oram) == 1
+
+    def test_missing_block_raises(self):
+        oram = PathORAM(capacity=16, rng=np.random.default_rng(2))
+        with pytest.raises(KeyError):
+            oram.read(99)
+
+    def test_capacity_enforced(self):
+        oram = PathORAM(capacity=4, rng=np.random.default_rng(3))
+        for i in range(4):
+            oram.write(i, i)
+        with pytest.raises(ValueError):
+            oram.write(100, "overflow")
+
+    def test_contains(self):
+        oram = PathORAM(capacity=16, rng=np.random.default_rng(4))
+        oram.write(3, "x")
+        assert 3 in oram
+        assert 4 not in oram
+
+    def test_read_all_returns_everything(self):
+        oram = PathORAM(capacity=128, rng=np.random.default_rng(5))
+        expected = {}
+        for i in range(100):
+            oram.write(i, f"value-{i}")
+            expected[i] = f"value-{i}"
+        assert oram.read_all() == expected
+
+    def test_many_accesses_keep_stash_small(self):
+        oram = PathORAM(capacity=256, bucket_size=4, rng=np.random.default_rng(6))
+        for i in range(200):
+            oram.write(i, i)
+        rng = np.random.default_rng(7)
+        for _ in range(500):
+            block = int(rng.integers(0, 200))
+            assert oram.read(block) == block
+        # Path ORAM stash stays small with overwhelming probability.
+        assert oram.stats.stash_peak < 120
+
+    def test_stats_counters_increase(self):
+        oram = PathORAM(capacity=32, rng=np.random.default_rng(8))
+        oram.write(1, "a")
+        before = (oram.stats.blocks_read, oram.stats.blocks_written)
+        oram.read(1)
+        after = (oram.stats.blocks_read, oram.stats.blocks_written)
+        assert after[0] > before[0]
+        assert after[1] > before[1]
+        assert oram.stats.accesses == 2
+
+    def test_stats_reset(self):
+        oram = PathORAM(capacity=32, rng=np.random.default_rng(9))
+        oram.write(1, "a")
+        oram.stats.reset()
+        assert oram.stats.accesses == 0
+        assert oram.stats.blocks_read == 0
+
+
+class TestObliviousness:
+    def test_paths_are_uniform_regardless_of_access_sequence(self):
+        """Accessing one hot block vs. scanning all blocks touches leaves with
+        statistically indistinguishable frequencies (the ORAM property)."""
+        rng = np.random.default_rng(10)
+        oram_hot = PathORAM(capacity=64, rng=np.random.default_rng(11))
+        oram_scan = PathORAM(capacity=64, rng=np.random.default_rng(12))
+        for i in range(32):
+            oram_hot.write(i, i)
+            oram_scan.write(i, i)
+
+        hot_leaves = []
+        scan_leaves = []
+        for step in range(800):
+            oram_hot.read(0)  # always the same logical block
+            hot_leaves.append(oram_hot.last_path[-1])
+            oram_scan.read(step % 32)  # round-robin over all blocks
+            scan_leaves.append(oram_scan.last_path[-1])
+
+        # Compare the leaf-visit distributions: they should both be close to
+        # uniform, so their means and spreads should agree within tolerance.
+        hot_counts = np.bincount(np.array(hot_leaves) - min(hot_leaves), minlength=8)
+        scan_counts = np.bincount(np.array(scan_leaves) - min(scan_leaves), minlength=8)
+        hot_fracs = hot_counts / hot_counts.sum()
+        scan_fracs = scan_counts / scan_counts.sum()
+        assert np.abs(hot_fracs - scan_fracs).max() < 0.12
+
+    def test_same_block_maps_to_fresh_leaf_each_access(self):
+        oram = PathORAM(capacity=64, rng=np.random.default_rng(13))
+        oram.write(7, "x")
+        leaves = set()
+        for _ in range(50):
+            oram.read(7)
+            leaves.add(oram.last_path[-1])
+        assert len(leaves) > 5
+
+    @given(ops=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_read_returns_last_written_value(self, ops):
+        oram = PathORAM(capacity=64, rng=np.random.default_rng(14))
+        shadow: dict[int, int] = {}
+        for i, block in enumerate(ops):
+            oram.write(block, i)
+            shadow[block] = i
+        for block, expected in shadow.items():
+            assert oram.read(block) == expected

@@ -1,0 +1,132 @@
+"""Statistical tests of the update-pattern DP guarantee (Definition 5).
+
+These tests run the *actual strategy implementations* (not the Table 4
+abstractions) on neighboring growing databases and verify that what the
+server observes -- the update pattern -- cannot distinguish them:
+
+* for DP-Timer, the synchronization times are identical by construction and
+  the volume distributions on a window differing by one record must satisfy
+  the e^epsilon likelihood-ratio bound;
+* for DP-ANT, the distribution over the number of synchronizations (the only
+  data-dependent part of the schedule) must also respect the bound;
+* for SET/OTO, the patterns are exactly identical (0-DP);
+* for SUR, the patterns are trivially distinguishable (the negative control).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.strategies.dp_ant import DPANTStrategy
+from repro.core.strategies.dp_timer import DPTimerStrategy
+from repro.core.strategies.flush import FlushPolicy
+from repro.core.strategies.naive import SETStrategy, SURStrategy
+from repro.edb.records import Record, Schema, make_dummy_record
+
+SCHEMA = Schema("events", ("sensor_id", "value"))
+
+
+def dummy_factory(t):
+    return make_dummy_record(SCHEMA, t)
+
+
+def record(t):
+    return Record(values={"sensor_id": 1, "value": float(t)}, arrival_time=t, table="events")
+
+
+def run_pattern(strategy, arrivals):
+    """Run a strategy over a boolean arrival stream; return (times, volumes)."""
+    strategy.setup([])
+    times, volumes = [], []
+    for t, arrived in enumerate(arrivals, start=1):
+        decision = strategy.step(t, record(t) if arrived else None)
+        if decision.should_sync and decision.volume:
+            times.append(t)
+            volumes.append(decision.volume)
+    return tuple(times), tuple(volumes)
+
+
+# Two neighboring streams: identical except one extra arrival at t=5.
+STREAM_A = [t in {2, 5, 8, 11, 14, 17} for t in range(1, 21)]
+STREAM_B = [t in {2, 8, 11, 14, 17} for t in range(1, 21)]
+
+
+class TestDPTimerPattern:
+    def test_sync_times_identical_on_neighbors(self):
+        for seed in range(20):
+            timer_a = DPTimerStrategy(
+                dummy_factory, epsilon=1.0, period=10,
+                flush=FlushPolicy.disabled(), rng=np.random.default_rng(seed),
+            )
+            timer_b = DPTimerStrategy(
+                dummy_factory, epsilon=1.0, period=10,
+                flush=FlushPolicy.disabled(), rng=np.random.default_rng(seed + 1000),
+            )
+            times_a, _ = run_pattern(timer_a, STREAM_A)
+            times_b, _ = run_pattern(timer_b, STREAM_B)
+            assert all(t % 10 == 0 for t in times_a + times_b)
+
+    def test_volume_likelihood_ratio_within_epsilon(self):
+        epsilon = 1.0
+        trials = 4000
+        rng_pool = np.random.default_rng(0)
+
+        def first_window_volume(stream):
+            timer = DPTimerStrategy(
+                dummy_factory, epsilon=epsilon, period=20,
+                flush=FlushPolicy.disabled(),
+                rng=np.random.default_rng(int(rng_pool.integers(0, 2**31))),
+            )
+            _, volumes = run_pattern(timer, stream)
+            return volumes[0] if volumes else 0
+
+        a = np.array([first_window_volume(STREAM_A) for _ in range(trials)])
+        b = np.array([first_window_volume(STREAM_B) for _ in range(trials)])
+        # Coarse buckets keep per-bucket counts high enough for a stable ratio.
+        for low, high in [(0, 5), (5, 8), (8, 100)]:
+            pa = float(np.mean((a >= low) & (a < high))) + 1e-3
+            pb = float(np.mean((b >= low) & (b < high))) + 1e-3
+            assert pa / pb <= math.exp(epsilon) * 1.6
+            assert pa / pb >= math.exp(-epsilon) / 1.6
+
+
+class TestDPANTPattern:
+    def test_sync_count_distribution_close_on_neighbors(self):
+        epsilon = 1.0
+        trials = 1500
+        rng_pool = np.random.default_rng(1)
+
+        def sync_count(stream):
+            ant = DPANTStrategy(
+                dummy_factory, epsilon=epsilon, theta=4,
+                flush=FlushPolicy.disabled(),
+                rng=np.random.default_rng(int(rng_pool.integers(0, 2**31))),
+            )
+            times, _ = run_pattern(ant, stream)
+            return len(times)
+
+        a = np.array([sync_count(STREAM_A) for _ in range(trials)])
+        b = np.array([sync_count(STREAM_B) for _ in range(trials)])
+        # The mean number of crossings may differ only slightly; a gross gap
+        # would indicate the pattern leaks the extra record directly.
+        assert abs(float(a.mean()) - float(b.mean())) < 0.5
+
+
+class TestNaivePatterns:
+    def test_set_patterns_identical_on_neighbors(self):
+        set_a = SETStrategy(dummy_factory)
+        set_b = SETStrategy(dummy_factory)
+        pattern_a = run_pattern(set_a, STREAM_A)
+        pattern_b = run_pattern(set_b, STREAM_B)
+        assert pattern_a == pattern_b
+
+    def test_sur_patterns_differ_on_neighbors(self):
+        sur_a = SURStrategy(dummy_factory)
+        sur_b = SURStrategy(dummy_factory)
+        times_a, _ = run_pattern(sur_a, STREAM_A)
+        times_b, _ = run_pattern(sur_b, STREAM_B)
+        assert times_a != times_b
+        assert 5 in times_a and 5 not in times_b

@@ -1,0 +1,91 @@
+"""Property-based tests spanning the full owner -> EDB -> analyst pipeline.
+
+The end-to-end invariant tested here is the paper's correctness contract:
+whatever the strategy does with dummies and delays, a query answered by an
+exact (L-0) back-end differs from the ground truth by *exactly* the records
+that have not yet been synchronized -- never more, never less.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import DPSync
+from repro.core.strategies.flush import FlushPolicy
+from repro.edb.oblidb import ObliDB
+from repro.edb.records import Schema
+from repro.query.ast import CountQuery, GroupByCountQuery
+
+SCHEMA = Schema("events", ("sensor_id", "value"))
+
+strategy_names = st.sampled_from(["sur", "oto", "set", "dp-timer", "dp-ant"])
+arrival_streams = st.lists(st.booleans(), min_size=5, max_size=150)
+
+
+@given(strategy=strategy_names, arrivals=arrival_streams, seed=st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_count_error_equals_logical_gap(strategy, arrivals, seed):
+    dpsync = DPSync(
+        SCHEMA,
+        edb=ObliDB(),
+        strategy=strategy,
+        epsilon=0.5,
+        period=10,
+        theta=5,
+        flush=FlushPolicy(interval=30, size=2),
+        rng=np.random.default_rng(seed),
+    )
+    dpsync.start([])
+    for t, arrived in enumerate(arrivals, start=1):
+        update = {"sensor_id": t % 4, "value": float(t)} if arrived else None
+        dpsync.receive(t, update)
+    observation = dpsync.query(CountQuery("events", label="count-all"))
+    assert observation.l1_error == dpsync.logical_gap
+    assert observation.true_answer == sum(arrivals)
+
+
+@given(strategy=strategy_names, arrivals=arrival_streams, seed=st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_groupby_error_equals_logical_gap(strategy, arrivals, seed):
+    """For group-by counts the L1 error is also exactly the number of missing
+    records (each missing record contributes 1 to exactly one group)."""
+    dpsync = DPSync(
+        SCHEMA,
+        edb=ObliDB(),
+        strategy=strategy,
+        epsilon=0.5,
+        period=10,
+        theta=5,
+        flush=FlushPolicy(interval=30, size=2),
+        rng=np.random.default_rng(seed),
+    )
+    dpsync.start([])
+    for t, arrived in enumerate(arrivals, start=1):
+        update = {"sensor_id": t % 4, "value": float(t)} if arrived else None
+        dpsync.receive(t, update)
+    observation = dpsync.query(GroupByCountQuery("events", "sensor_id", label="by-sensor"))
+    assert observation.l1_error == dpsync.logical_gap
+
+
+@given(arrivals=arrival_streams, seed=st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_outsourced_size_decomposes_into_real_plus_dummy(arrivals, seed):
+    dpsync = DPSync(
+        SCHEMA,
+        edb=ObliDB(),
+        strategy="dp-ant",
+        epsilon=0.5,
+        theta=5,
+        flush=FlushPolicy(interval=25, size=3),
+        rng=np.random.default_rng(seed),
+    )
+    dpsync.start([])
+    for t, arrived in enumerate(arrivals, start=1):
+        update = {"sensor_id": 1, "value": float(t)} if arrived else None
+        dpsync.receive(t, update)
+    edb = dpsync.edb
+    assert edb.outsourced_count == edb.real_count + edb.dummy_count
+    assert edb.real_count == sum(arrivals) - dpsync.logical_gap
+    assert edb.outsourced_count == dpsync.update_pattern.total_volume()

@@ -1,0 +1,129 @@
+"""Property-based tests over synchronization strategies.
+
+These invariants must hold for *any* arrival stream and any (sane) parameter
+choice:
+
+1. conservation: records received = records uploaded + records still cached;
+2. no fabrication: the server never receives a real record it was not given;
+3. order preservation (FIFO): real records reach the server in arrival order;
+4. dummy hygiene: dummies appear only as padding, never in the logical DB;
+5. privacy accounting: the composed epsilon never exceeds the configured one;
+6. SET/OTO update patterns are functions of time only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategies.dp_ant import DPANTStrategy
+from repro.core.strategies.dp_timer import DPTimerStrategy
+from repro.core.strategies.flush import FlushPolicy
+from repro.core.strategies.naive import OTOStrategy, SETStrategy, SURStrategy
+from repro.edb.records import Record, Schema, make_dummy_record
+
+SCHEMA = Schema("events", ("sensor_id", "value"))
+
+
+def dummy_factory(t):
+    return make_dummy_record(SCHEMA, t)
+
+
+def record(t):
+    return Record(values={"sensor_id": t % 9, "value": float(t)}, arrival_time=t, table="events")
+
+
+arrival_streams = st.lists(st.booleans(), min_size=1, max_size=300)
+
+strategy_builders = st.sampled_from(
+    [
+        lambda seed: SURStrategy(dummy_factory, rng=np.random.default_rng(seed)),
+        lambda seed: OTOStrategy(dummy_factory, rng=np.random.default_rng(seed)),
+        lambda seed: SETStrategy(dummy_factory, rng=np.random.default_rng(seed)),
+        lambda seed: DPTimerStrategy(
+            dummy_factory, epsilon=0.5, period=7,
+            flush=FlushPolicy(interval=40, size=3), rng=np.random.default_rng(seed),
+        ),
+        lambda seed: DPANTStrategy(
+            dummy_factory, epsilon=0.5, theta=5,
+            flush=FlushPolicy(interval=40, size=3), rng=np.random.default_rng(seed),
+        ),
+    ]
+)
+
+
+def run(strategy, arrivals, initial=0):
+    uploads: list[Record] = []
+    gamma0 = strategy.setup([record(0) for _ in range(initial)])
+    uploads.extend(gamma0)
+    for t, arrived in enumerate(arrivals, start=1):
+        decision = strategy.step(t, record(t) if arrived else None)
+        uploads.extend(decision.records)
+    return uploads
+
+
+@given(builder=strategy_builders, arrivals=arrival_streams, seed=st.integers(0, 1000))
+@settings(max_examples=120, deadline=None)
+def test_conservation_of_real_records(builder, arrivals, seed):
+    strategy = builder(seed)
+    uploads = run(strategy, arrivals)
+    uploaded_real = sum(1 for r in uploads if not r.is_dummy)
+    received = sum(arrivals)
+    assert uploaded_real + strategy.logical_gap == received
+    assert uploaded_real == strategy.synced_real_total
+    assert strategy.logical_gap >= 0
+
+
+@given(builder=strategy_builders, arrivals=arrival_streams, seed=st.integers(0, 1000))
+@settings(max_examples=120, deadline=None)
+def test_no_fabricated_real_records(builder, arrivals, seed):
+    strategy = builder(seed)
+    uploads = run(strategy, arrivals)
+    arrival_times = {t for t, arrived in enumerate(arrivals, start=1) if arrived}
+    for uploaded in uploads:
+        if not uploaded.is_dummy:
+            assert uploaded.arrival_time in arrival_times or uploaded.arrival_time == 0
+
+
+@given(builder=strategy_builders, arrivals=arrival_streams, seed=st.integers(0, 1000))
+@settings(max_examples=120, deadline=None)
+def test_fifo_order_preserved(builder, arrivals, seed):
+    strategy = builder(seed)
+    uploads = run(strategy, arrivals)
+    real_times = [r.arrival_time for r in uploads if not r.is_dummy]
+    assert real_times == sorted(real_times)
+
+
+@given(builder=strategy_builders, arrivals=arrival_streams, seed=st.integers(0, 1000))
+@settings(max_examples=120, deadline=None)
+def test_privacy_budget_never_exceeded(builder, arrivals, seed):
+    strategy = builder(seed)
+    run(strategy, arrivals)
+    if strategy.epsilon in (0.0, float("inf")):
+        return
+    assert strategy.accountant.total_epsilon() <= strategy.epsilon + 1e-9
+
+
+@given(arrivals=arrival_streams)
+@settings(max_examples=80, deadline=None)
+def test_set_volume_sequence_depends_only_on_time(arrivals):
+    strategy = SETStrategy(dummy_factory)
+    strategy.setup([])
+    volumes = [strategy.step(t, record(t) if a else None).volume
+               for t, a in enumerate(arrivals, start=1)]
+    assert volumes == [1] * len(arrivals)
+
+
+@given(arrivals=arrival_streams, seed=st.integers(0, 500))
+@settings(max_examples=80, deadline=None)
+def test_dp_timer_sync_times_are_period_multiples(arrivals, seed):
+    strategy = DPTimerStrategy(
+        dummy_factory, epsilon=0.5, period=5,
+        flush=FlushPolicy.disabled(), rng=np.random.default_rng(seed),
+    )
+    strategy.setup([])
+    for t, arrived in enumerate(arrivals, start=1):
+        decision = strategy.step(t, record(t) if arrived else None)
+        if decision.should_sync:
+            assert t % 5 == 0

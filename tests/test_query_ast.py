@@ -1,0 +1,93 @@
+"""Tests for query objects and their lowering to relational plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.ast import (
+    AggregationKind,
+    CountNode,
+    CountQuery,
+    FilterNode,
+    GroupByCountNode,
+    GroupByCountQuery,
+    JoinCountQuery,
+    JoinNode,
+    ScanNode,
+)
+from repro.query.predicates import RangePredicate, TruePredicate
+
+
+class TestCountQuery:
+    def test_kind_and_tables(self):
+        query = CountQuery("YellowCab", RangePredicate("pickupID", 50, 100), label="Q1")
+        assert query.kind is AggregationKind.SCALAR_COUNT
+        assert query.tables == ("YellowCab",)
+        assert query.name == "Q1"
+
+    def test_plan_shape(self):
+        query = CountQuery("T")
+        plan = query.to_plan()
+        assert isinstance(plan, CountNode)
+        assert isinstance(plan.child, FilterNode)
+        assert isinstance(plan.child.child, ScanNode)
+        assert plan.child.child.table == "T"
+
+    def test_default_predicate_is_true(self):
+        query = CountQuery("T")
+        assert isinstance(query.predicate, TruePredicate)
+
+    def test_default_label(self):
+        assert CountQuery("T").name == "CountQuery"
+
+
+class TestGroupByCountQuery:
+    def test_kind(self):
+        query = GroupByCountQuery("YellowCab", "pickupID", label="Q2")
+        assert query.kind is AggregationKind.GROUPED_COUNT
+        assert query.tables == ("YellowCab",)
+
+    def test_plan_shape(self):
+        plan = GroupByCountQuery("T", "g").to_plan()
+        assert isinstance(plan, GroupByCountNode)
+        assert plan.group_attribute == "g"
+        assert isinstance(plan.child, FilterNode)
+
+
+class TestJoinCountQuery:
+    def test_kind_and_tables(self):
+        query = JoinCountQuery("A", "B", "x", "y", label="Q3")
+        assert query.kind is AggregationKind.SCALAR_COUNT
+        assert query.tables == ("A", "B")
+
+    def test_plan_shape(self):
+        plan = JoinCountQuery("A", "B", "x", "y").to_plan()
+        assert isinstance(plan, CountNode)
+        join = plan.child
+        assert isinstance(join, JoinNode)
+        assert join.left_attribute == "x"
+        assert join.right_attribute == "y"
+        assert isinstance(join.left, FilterNode)
+        assert isinstance(join.right, FilterNode)
+
+
+class TestPlanNodes:
+    def test_children_traversal(self):
+        plan = JoinCountQuery("A", "B", "x", "y").to_plan()
+        # Walk the tree and count scan leaves.
+        stack = [plan]
+        scans = 0
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ScanNode):
+                scans += 1
+            stack.extend(node.children())
+        assert scans == 2
+
+    def test_leaf_has_no_children(self):
+        assert ScanNode("T").children() == ()
+
+    def test_plans_are_immutable(self):
+        plan = ScanNode("T")
+        with pytest.raises(AttributeError):
+            plan.table = "other"

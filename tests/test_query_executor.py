@@ -1,0 +1,157 @@
+"""Tests for the plaintext plan executor and the answer distance metric."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edb.records import Record
+from repro.query.ast import (
+    CountQuery,
+    CrossProductNode,
+    FilterNode,
+    GroupByCountQuery,
+    JoinCountQuery,
+    ProjectNode,
+    ScanNode,
+)
+from repro.query.executor import (
+    PlaintextExecutor,
+    answer_l1_distance,
+    execute_plan,
+    ground_truth,
+)
+from repro.query.predicates import EqualityPredicate, RangePredicate
+
+
+def yellow(pickup, minute):
+    return Record(values={"pickupID": pickup, "pickTime": minute}, table="YellowCab")
+
+
+def green(pickup, minute):
+    return Record(values={"pickupID": pickup, "pickTime": minute}, table="GreenTaxi")
+
+
+@pytest.fixture
+def executor():
+    ex = PlaintextExecutor()
+    ex.register("YellowCab", [yellow(i % 100 + 1, i) for i in range(200)])
+    ex.register("GreenTaxi", [green(5, i * 2) for i in range(100)])
+    return ex
+
+
+class TestScalarQueries:
+    def test_count_all(self, executor):
+        assert executor.execute(CountQuery("YellowCab")) == 200
+
+    def test_count_with_range(self, executor):
+        query = CountQuery("YellowCab", RangePredicate("pickupID", 50, 100))
+        expected = sum(1 for i in range(200) if 50 <= i % 100 + 1 <= 100)
+        assert executor.execute(query) == expected
+
+    def test_count_missing_table_is_zero(self, executor):
+        assert executor.execute(CountQuery("DoesNotExist")) == 0
+
+    def test_count_with_equality(self, executor):
+        query = CountQuery("GreenTaxi", EqualityPredicate("pickupID", 5))
+        assert executor.execute(query) == 100
+
+
+class TestGroupByQueries:
+    def test_group_counts_sum_to_total(self, executor):
+        grouped = executor.execute(GroupByCountQuery("YellowCab", "pickupID"))
+        assert sum(grouped.values()) == 200
+        assert len(grouped) == 100
+
+    def test_group_with_predicate(self, executor):
+        query = GroupByCountQuery(
+            "YellowCab", "pickupID", RangePredicate("pickupID", 1, 10)
+        )
+        grouped = executor.execute(query)
+        assert set(grouped) == set(range(1, 11))
+
+
+class TestJoinQueries:
+    def test_join_counts_matching_pairs(self, executor):
+        # GreenTaxi pickTime values are the even numbers 0..198; YellowCab has
+        # one record per minute 0..199, so exactly 100 minutes match.
+        query = JoinCountQuery("YellowCab", "GreenTaxi", "pickTime", "pickTime")
+        assert executor.execute(query) == 100
+
+    def test_join_with_duplicate_keys_multiplies(self):
+        ex = PlaintextExecutor()
+        ex.register("L", [yellow(1, 7), yellow(2, 7)])
+        ex.register("R", [green(9, 7), green(9, 7), green(9, 7)])
+        query = JoinCountQuery("L", "R", "pickTime", "pickTime")
+        assert ex.execute(query) == 6
+
+    def test_join_stats_count_pairs(self, executor):
+        query = JoinCountQuery("YellowCab", "GreenTaxi", "pickTime", "pickTime")
+        _, stats = executor.execute_with_stats(query)
+        assert stats.join_pairs == 200 * 100
+
+
+class TestPlanOperators:
+    def test_project(self):
+        plan = ProjectNode(ScanNode("T"), ("a",))
+        answer = execute_plan(plan, {"T": [Record(values={"a": 1, "b": 2})]})
+        assert answer == 1  # bare relational expressions return cardinality
+
+    def test_crossproduct_combines_attributes(self):
+        ex = PlaintextExecutor({"T": [Record(values={"a": 1, "b": 2})]})
+        plan = CrossProductNode(ScanNode("T"), "a", "b", "ab")
+        rows = ex._eval(plan, type("S", (), {"rows_scanned": 0})())
+        assert rows[0]["ab"] == (1, 2)
+
+    def test_filter_then_count_stats(self, executor):
+        query = CountQuery("YellowCab", RangePredicate("pickupID", 1, 10))
+        _, stats = executor.execute_with_stats(query)
+        assert stats.rows_scanned == 200
+        assert stats.rows_output < 200
+
+
+class TestGroundTruthAndDistance:
+    def test_ground_truth_matches_direct_execution(self, executor):
+        query = CountQuery("YellowCab", RangePredicate("pickupID", 50, 100))
+        truth = ground_truth(query, executor.tables)
+        assert truth == executor.execute(query)
+
+    def test_scalar_distance(self):
+        assert answer_l1_distance(10, 7) == 3.0
+        assert answer_l1_distance(7, 10) == 3.0
+        assert answer_l1_distance(5, 5) == 0.0
+
+    def test_grouped_distance_over_key_union(self):
+        lhs = {"a": 5, "b": 3}
+        rhs = {"a": 4, "c": 2}
+        assert answer_l1_distance(lhs, rhs) == 1 + 3 + 2
+
+    def test_mixed_answer_types_rejected(self):
+        with pytest.raises(TypeError):
+            answer_l1_distance(5, {"a": 5})
+
+    @given(
+        lhs=st.dictionaries(st.sampled_from("abcdef"), st.integers(0, 100), max_size=6),
+        rhs=st.dictionaries(st.sampled_from("abcdef"), st.integers(0, 100), max_size=6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_grouped_distance_is_a_metric(self, lhs, rhs):
+        assert answer_l1_distance(lhs, rhs) == answer_l1_distance(rhs, lhs)
+        assert answer_l1_distance(lhs, lhs) == 0.0
+        assert answer_l1_distance(lhs, rhs) >= 0.0
+
+
+class TestTableManagement:
+    def test_register_replaces_append_extends(self):
+        ex = PlaintextExecutor()
+        ex.register("T", [Record(values={"a": 1})])
+        ex.append("T", [Record(values={"a": 2})])
+        assert ex.table_size("T") == 2
+        ex.register("T", [Record(values={"a": 3})])
+        assert ex.table_size("T") == 1
+
+    def test_append_creates_table(self):
+        ex = PlaintextExecutor()
+        ex.append("New", [Record(values={"a": 1})])
+        assert ex.table_size("New") == 1

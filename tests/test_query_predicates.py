@@ -1,0 +1,106 @@
+"""Tests for record predicates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edb.records import Record, Schema, make_dummy_record
+from repro.query.predicates import (
+    AndPredicate,
+    EqualityPredicate,
+    NotDummyPredicate,
+    NotPredicate,
+    OrPredicate,
+    RangePredicate,
+    TruePredicate,
+)
+
+
+def record(**values) -> Record:
+    return Record(values=values, table="t")
+
+
+class TestBasicPredicates:
+    def test_true_predicate(self):
+        assert TruePredicate().evaluate(record(a=1))
+
+    def test_range_inclusive_bounds(self):
+        predicate = RangePredicate("a", 10, 20)
+        assert predicate.evaluate(record(a=10))
+        assert predicate.evaluate(record(a=20))
+        assert predicate.evaluate(record(a=15))
+        assert not predicate.evaluate(record(a=9))
+        assert not predicate.evaluate(record(a=21))
+
+    def test_range_missing_attribute_is_false(self):
+        assert not RangePredicate("missing", 0, 10).evaluate(record(a=5))
+
+    def test_range_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            RangePredicate("a", 10, 5)
+
+    def test_equality(self):
+        predicate = EqualityPredicate("a", "x")
+        assert predicate.evaluate(record(a="x"))
+        assert not predicate.evaluate(record(a="y"))
+        assert not predicate.evaluate(record(b="x"))
+
+    def test_not_dummy(self):
+        schema = Schema("t", ("a",))
+        assert NotDummyPredicate().evaluate(record(a=1))
+        assert not NotDummyPredicate().evaluate(make_dummy_record(schema))
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = AndPredicate((RangePredicate("a", 0, 10), EqualityPredicate("b", 1)))
+        assert predicate.evaluate(record(a=5, b=1))
+        assert not predicate.evaluate(record(a=5, b=2))
+        assert not predicate.evaluate(record(a=50, b=1))
+
+    def test_or(self):
+        predicate = OrPredicate((EqualityPredicate("a", 1), EqualityPredicate("a", 2)))
+        assert predicate.evaluate(record(a=1))
+        assert predicate.evaluate(record(a=2))
+        assert not predicate.evaluate(record(a=3))
+
+    def test_not(self):
+        predicate = NotPredicate(EqualityPredicate("a", 1))
+        assert not predicate.evaluate(record(a=1))
+        assert predicate.evaluate(record(a=2))
+
+    def test_operator_overloads(self):
+        conjunction = RangePredicate("a", 0, 10) & EqualityPredicate("b", 1)
+        disjunction = EqualityPredicate("a", 1) | EqualityPredicate("a", 2)
+        negation = ~EqualityPredicate("a", 1)
+        assert isinstance(conjunction, AndPredicate)
+        assert isinstance(disjunction, OrPredicate)
+        assert isinstance(negation, NotPredicate)
+        assert conjunction.evaluate(record(a=3, b=1))
+        assert disjunction.evaluate(record(a=2))
+        assert negation.evaluate(record(a=5))
+
+    def test_callable_shorthand(self):
+        predicate = EqualityPredicate("a", 1)
+        assert predicate(record(a=1))
+
+
+class TestPredicateProperties:
+    @given(
+        low=st.integers(min_value=-1000, max_value=1000),
+        span=st.integers(min_value=0, max_value=500),
+        value=st.integers(min_value=-2000, max_value=2000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_range_matches_mathematical_definition(self, low, span, value):
+        predicate = RangePredicate("a", low, low + span)
+        assert predicate.evaluate(record(a=value)) == (low <= value <= low + span)
+
+    @given(value=st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_negation_is_complement(self, value):
+        predicate = EqualityPredicate("a", 0)
+        row = record(a=value)
+        assert (~predicate).evaluate(row) == (not predicate.evaluate(row))

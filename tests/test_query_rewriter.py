@@ -1,0 +1,113 @@
+"""Tests for the dummy-aware query rewriting (Appendix B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.edb.records import Record, Schema, make_dummy_record
+from repro.query.ast import (
+    CountQuery,
+    CrossProductNode,
+    FilterNode,
+    GroupByCountQuery,
+    JoinCountQuery,
+    ProjectNode,
+    ScanNode,
+)
+from repro.query.executor import PlaintextExecutor
+from repro.query.predicates import EqualityPredicate, RangePredicate
+from repro.query.rewriter import plan_filters_dummies, rewrite_for_dummies, rewrite_plan
+
+SCHEMA = Schema("T", ("a", "b"))
+
+
+def real(a, b):
+    return Record(values={"a": a, "b": b}, table="T")
+
+
+@pytest.fixture
+def tables():
+    rows = [real(i, i % 2) for i in range(10)]
+    dummies = [make_dummy_record(SCHEMA) for _ in range(5)]
+    return {"T": rows + dummies}, rows
+
+
+class TestRewriteStructure:
+    def test_every_query_shape_is_guarded(self):
+        queries = [
+            CountQuery("T", RangePredicate("a", 0, 5)),
+            GroupByCountQuery("T", "b"),
+            JoinCountQuery("T", "U", "a", "a"),
+        ]
+        for query in queries:
+            assert plan_filters_dummies(rewrite_for_dummies(query))
+
+    def test_unrewritten_plan_is_not_guarded(self):
+        assert not plan_filters_dummies(CountQuery("T").to_plan())
+
+    def test_bare_scan_gets_wrapped(self):
+        rewritten = rewrite_plan(ScanNode("T"))
+        assert isinstance(rewritten, FilterNode)
+        assert plan_filters_dummies(rewritten)
+
+    def test_project_and_crossproduct_are_guarded(self):
+        project = ProjectNode(ScanNode("T"), ("a",))
+        cross = CrossProductNode(ScanNode("T"), "a", "b", "ab")
+        assert plan_filters_dummies(rewrite_plan(project))
+        assert plan_filters_dummies(rewrite_plan(cross))
+
+    def test_filter_is_not_double_wrapped(self):
+        plan = FilterNode(ScanNode("T"), EqualityPredicate("a", 1))
+        rewritten = rewrite_plan(plan)
+        # The rewritten filter sits directly on the scan (no extra filter layer).
+        assert isinstance(rewritten, FilterNode)
+        assert isinstance(rewritten.child, ScanNode)
+
+    def test_unknown_node_type_rejected(self):
+        class FakeNode:
+            pass
+
+        with pytest.raises(TypeError):
+            rewrite_plan(FakeNode())
+
+
+class TestRewriteSemantics:
+    def test_count_ignores_dummies(self, tables):
+        data, rows = tables
+        executor = PlaintextExecutor({k: list(v) for k, v in data.items()})
+        query = CountQuery("T")
+        assert executor.execute(query, rewrite=True) == len(rows)
+        assert executor.execute(query, rewrite=False) == len(rows) + 5
+
+    def test_filter_with_predicate_ignores_dummies(self, tables):
+        data, rows = tables
+        executor = PlaintextExecutor({k: list(v) for k, v in data.items()})
+        query = CountQuery("T", RangePredicate("a", 0, 4))
+        assert executor.execute(query, rewrite=True) == 5
+
+    def test_groupby_never_groups_dummies(self, tables):
+        data, rows = tables
+        executor = PlaintextExecutor({k: list(v) for k, v in data.items()})
+        query = GroupByCountQuery("T", "b")
+        grouped = executor.execute(query, rewrite=True)
+        assert set(grouped) == {0, 1}
+        assert sum(grouped.values()) == len(rows)
+        # Without rewriting the dummy sentinel shows up as its own group.
+        unguarded = executor.execute(query, rewrite=False)
+        assert -1 in unguarded
+
+    def test_join_never_matches_dummies(self):
+        left_schema = Schema("L", ("k",))
+        right_schema = Schema("R", ("k",))
+        left = [Record(values={"k": i}, table="L") for i in range(3)]
+        right = [Record(values={"k": i}, table="R") for i in range(3)]
+        left_dummies = [make_dummy_record(left_schema) for _ in range(4)]
+        right_dummies = [make_dummy_record(right_schema) for _ in range(4)]
+        executor = PlaintextExecutor(
+            {"L": left + left_dummies, "R": right + right_dummies}
+        )
+        query = JoinCountQuery("L", "R", "k", "k")
+        # Dummies share the sentinel key and would join with each other (4x4
+        # extra pairs) if the rewriting did not filter them out first.
+        assert executor.execute(query, rewrite=True) == 3
+        assert executor.execute(query, rewrite=False) == 3 + 16

@@ -1,0 +1,118 @@
+"""Tests for the small SQL front-end, including the paper's Q1/Q2/Q3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.ast import CountQuery, GroupByCountQuery, JoinCountQuery
+from repro.query.predicates import (
+    AndPredicate,
+    EqualityPredicate,
+    RangePredicate,
+    TruePredicate,
+)
+from repro.query.sql import SQLParseError, parse_query
+
+Q1 = "SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 50 AND 100"
+Q2 = "SELECT pickupID, COUNT(*) AS PickupCnt FROM YellowCab GROUP BY pickupID"
+Q3 = (
+    "SELECT COUNT(*) FROM YellowCab INNER JOIN GreenTaxi "
+    "ON YellowCab.pickTime = GreenTaxi.pickTime"
+)
+
+
+class TestPaperQueries:
+    def test_q1_parses_to_range_count(self):
+        query = parse_query(Q1, label="Q1")
+        assert isinstance(query, CountQuery)
+        assert query.table == "YellowCab"
+        assert isinstance(query.predicate, RangePredicate)
+        assert query.predicate.attribute == "pickupID"
+        assert (query.predicate.low, query.predicate.high) == (50, 100)
+        assert query.name == "Q1"
+
+    def test_q2_parses_to_groupby_count(self):
+        query = parse_query(Q2, label="Q2")
+        assert isinstance(query, GroupByCountQuery)
+        assert query.table == "YellowCab"
+        assert query.group_attribute == "pickupID"
+        assert isinstance(query.predicate, TruePredicate)
+
+    def test_q3_parses_to_join_count(self):
+        query = parse_query(Q3, label="Q3")
+        assert isinstance(query, JoinCountQuery)
+        assert query.left_table == "YellowCab"
+        assert query.right_table == "GreenTaxi"
+        assert query.left_attribute == "pickTime"
+        assert query.right_attribute == "pickTime"
+
+
+class TestGeneralParsing:
+    def test_plain_count(self):
+        query = parse_query("SELECT COUNT(*) FROM T")
+        assert isinstance(query, CountQuery)
+        assert isinstance(query.predicate, TruePredicate)
+
+    def test_trailing_semicolon_and_whitespace(self):
+        query = parse_query("  select count(*) from t ;  ")
+        assert isinstance(query, CountQuery)
+        assert query.table == "t"
+
+    def test_equality_predicate_numeric(self):
+        query = parse_query("SELECT COUNT(*) FROM T WHERE a = 7")
+        assert isinstance(query.predicate, EqualityPredicate)
+        assert query.predicate.value == 7
+
+    def test_equality_predicate_string(self):
+        query = parse_query("SELECT COUNT(*) FROM T WHERE name = 'zone'")
+        assert query.predicate.value == "zone"
+
+    def test_conjunction_of_clauses(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM T WHERE a BETWEEN 1 AND 5 AND b = 2"
+        )
+        assert isinstance(query.predicate, AndPredicate)
+        kinds = {type(child) for child in query.predicate.children}
+        assert kinds == {RangePredicate, EqualityPredicate}
+
+    def test_groupby_with_where(self):
+        query = parse_query(
+            "SELECT zone, COUNT(*) FROM T WHERE zone BETWEEN 1 AND 10 GROUP BY zone"
+        )
+        assert isinstance(query, GroupByCountQuery)
+        assert isinstance(query.predicate, RangePredicate)
+
+    def test_join_with_reversed_on_clause(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM A INNER JOIN B ON B.y = A.x"
+        )
+        assert query.left_table == "A"
+        assert query.left_attribute == "x"
+        assert query.right_attribute == "y"
+
+    def test_float_bounds(self):
+        query = parse_query("SELECT COUNT(*) FROM T WHERE a BETWEEN 0.5 AND 1.5")
+        assert query.predicate.low == 0.5
+        assert query.predicate.high == 1.5
+
+    def test_default_labels(self):
+        assert parse_query("SELECT COUNT(*) FROM T").name == "CountQuery"
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT * FROM T",
+            "SELECT SUM(a) FROM T",
+            "DELETE FROM T",
+            "SELECT COUNT(*) FROM T WHERE a LIKE 'x%'",
+            "SELECT a, COUNT(*) FROM T GROUP BY b",
+            "SELECT COUNT(*) FROM A INNER JOIN B ON C.x = D.y",
+            "SELECT COUNT(*) FROM T WHERE a > 5",
+        ],
+    )
+    def test_unsupported_shapes_raise(self, bad):
+        with pytest.raises(SQLParseError):
+            parse_query(bad)

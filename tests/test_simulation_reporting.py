@@ -1,0 +1,111 @@
+"""Tests for the table/figure renderers and headline-claim computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.reporting import (
+    format_figure_series,
+    format_headline_claims,
+    format_table2,
+    format_table3,
+    format_table5,
+    headline_claims,
+)
+from repro.simulation.results import QueryTrace, RunResult, TimePoint
+
+
+def make_result(strategy, mean_err, mean_qet, total_mb, dummy_mb):
+    result = RunResult(strategy=strategy, backend="ObliDB", epsilon=0.5)
+    for t in (360, 720):
+        result.add_query_trace(QueryTrace(t, "Q2", mean_err, mean_qet))
+        result.add_query_trace(QueryTrace(t, "Q3", mean_err, mean_qet * 2))
+    result.add_time_point(
+        TimePoint(
+            time=720,
+            outsourced_records=int(total_mb * 100),
+            dummy_records=int(dummy_mb * 100),
+            storage_bytes=total_mb * 1e6,
+            dummy_bytes=dummy_mb * 1e6,
+            logical_gap=int(mean_err),
+            logical_size=1000,
+        )
+    )
+    return result
+
+
+@pytest.fixture
+def results():
+    return {
+        "sur": make_result("sur", 0.0, 2.0, 300.0, 0.0),
+        "set": make_result("set", 0.0, 5.5, 700.0, 400.0),
+        "oto": make_result("oto", 5000.0, 0.05, 0.02, 0.0),
+        "dp-timer": make_result("dp-timer", 9.0, 2.3, 315.0, 15.0),
+        "dp-ant": make_result("dp-ant", 2.4, 2.7, 335.0, 35.0),
+    }
+
+
+class TestStaticTables:
+    def test_table2_lists_all_strategies(self):
+        text = format_table2()
+        for name in ("SUR", "OTO", "SET", "DP-Timer", "DP-ANT"):
+            assert name in text
+
+    def test_table3_lists_leakage_groups(self):
+        text = format_table3()
+        for token in ("L-0", "L-DP", "L-1", "L-2", "ObliDB", "Crypt-epsilon"):
+            assert token in text
+
+
+class TestTable5:
+    def test_contains_metrics_and_strategies(self, results):
+        text = format_table5({"ObliDB": results})
+        for token in ("== ObliDB ==", "Q2 mean L1 err", "Q3 mean QET", "Total data (Mb)", "DP-Timer"):
+            assert token in text
+
+    def test_multiple_backends(self, results):
+        text = format_table5({"ObliDB": results, "Crypt-epsilon": results})
+        assert text.count("mean L1 err") >= 4
+        assert "== Crypt-epsilon ==" in text
+
+
+class TestFigureSeries:
+    def test_renders_points(self):
+        text = format_figure_series(
+            "Figure 5a",
+            {"dp-timer": [(0.1, 50.0), (1.0, 5.0)]},
+            x_label="epsilon",
+            y_label="L1",
+        )
+        assert "Figure 5a" in text
+        assert "dp-timer" in text
+        assert "0.100" in text
+
+    def test_thins_long_series(self):
+        points = [(float(i), float(i)) for i in range(200)]
+        text = format_figure_series("t", {"s": points}, max_points=10)
+        assert len(text.splitlines()) < 40
+
+
+class TestHeadlineClaims:
+    def test_ratios_match_expectations(self, results):
+        claims = headline_claims(results)
+        assert claims["accuracy_gain_vs_oto"] > 100
+        assert claims["qet_gain_vs_set"] > 2.0
+        assert claims["storage_overhead_vs_sur"] < 1.2
+        assert claims["set_data_multiple_of_dp"] > 2.0
+
+    def test_requires_a_dp_strategy(self, results):
+        with pytest.raises(ValueError):
+            headline_claims({"sur": results["sur"]})
+
+    def test_formatting(self, results):
+        text = format_headline_claims(results)
+        assert "520x" in text  # the paper's reference number is echoed
+        assert "5.72x" in text
+
+    def test_partial_results_skip_missing_claims(self, results):
+        partial = {k: v for k, v in results.items() if k in ("dp-timer", "set")}
+        claims = headline_claims(partial)
+        assert "qet_gain_vs_set" in claims
+        assert "accuracy_gain_vs_oto" not in claims

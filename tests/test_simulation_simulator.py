@@ -1,0 +1,200 @@
+"""Tests for the end-to-end simulator and experiment drivers (scaled down)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies.flush import FlushPolicy
+from repro.edb.crypte import CryptEpsilon
+from repro.edb.oblidb import ObliDB
+from repro.query.sql import parse_query
+from repro.simulation.experiment import (
+    EndToEndConfig,
+    default_queries,
+    make_backend,
+    run_end_to_end,
+    run_parameter_sweep,
+    run_privacy_sweep,
+    taxi_workloads,
+)
+from repro.simulation.simulator import Simulation, SimulationConfig
+
+SCALE = 0.02  # ~864 time units, a few hundred records: fast but representative
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return taxi_workloads(scale=SCALE, include_green=True, seed=99)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return default_queries()
+
+
+def run_once(workloads, queries, strategy="dp-timer", backend="oblidb", **overrides):
+    config = SimulationConfig(
+        strategy=strategy,
+        epsilon=overrides.pop("epsilon", 0.5),
+        timer_period=30,
+        theta=15,
+        flush=FlushPolicy(interval=300, size=5),
+        query_interval=overrides.pop("query_interval", 120),
+        seed=overrides.pop("seed", 1),
+    )
+    simulation = Simulation(
+        edb_factory=make_backend(backend, seed=1),
+        workloads=workloads,
+        queries=queries,
+        config=config,
+    )
+    return simulation.run()
+
+
+class TestSimulationMechanics:
+    def test_requires_workloads(self, queries):
+        with pytest.raises(ValueError):
+            Simulation(lambda: ObliDB(), {}, queries, SimulationConfig())
+
+    def test_empty_workload_requires_schema(self, queries):
+        from repro.workload.stream import GrowingDatabase
+
+        empty = {"YellowCab": GrowingDatabase(table="YellowCab")}
+        with pytest.raises(ValueError):
+            Simulation(lambda: ObliDB(), empty, queries, SimulationConfig())
+
+    def test_run_produces_traces_and_timeline(self, workloads, queries):
+        result = run_once(workloads, queries)
+        assert result.backend == "ObliDB"
+        assert result.strategy == "dp-timer"
+        assert set(result.query_names()) == {"Q1", "Q2", "Q3"}
+        assert len(result.timeline) >= 1
+        assert result.sync_count > 0
+        assert result.total_update_volume > 0
+
+    def test_unsupported_queries_skipped_for_crypte(self, workloads, queries):
+        yellow_only = {"YellowCab": workloads["YellowCab"]}
+        result = run_once(yellow_only, queries, backend="crypte")
+        assert result.backend == "Crypt-epsilon"
+        assert "Q3" not in result.query_names()
+
+    def test_reproducible_given_seed(self, workloads, queries):
+        first = run_once(workloads, queries, seed=7)
+        second = run_once(workloads, queries, seed=7)
+        assert first.summary() == second.summary()
+
+    def test_config_with_overrides(self):
+        config = SimulationConfig(strategy="sur")
+        changed = config.with_overrides(strategy="set", epsilon=1.0)
+        assert changed.strategy == "set"
+        assert changed.epsilon == 1.0
+        assert config.strategy == "sur"  # original untouched
+
+    def test_final_snapshot_recorded_even_without_query_times(self, workloads, queries):
+        result = run_once(workloads, queries, query_interval=0)
+        assert result.query_traces == []
+        assert len(result.timeline) == 1
+
+
+class TestStrategyOrderings:
+    """The qualitative orderings of Section 8.1 on a scaled-down workload."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        config = EndToEndConfig(
+            backend="oblidb", scale=SCALE, query_interval=120, seed=3
+        )
+        return run_end_to_end(config)
+
+    def test_all_strategies_present(self, results):
+        assert set(results) == {"sur", "set", "oto", "dp-timer", "dp-ant"}
+
+    def test_sur_and_set_have_zero_error(self, results):
+        for query in ("Q1", "Q2", "Q3"):
+            assert results["sur"].mean_l1_error(query) == 0.0
+            assert results["set"].mean_l1_error(query) == 0.0
+
+    def test_oto_error_is_much_larger_than_dp(self, results):
+        for query in ("Q1", "Q2"):
+            oto = results["oto"].mean_l1_error(query)
+            for dp in ("dp-timer", "dp-ant"):
+                assert oto > 10 * max(results[dp].mean_l1_error(query), 0.1)
+
+    def test_dp_errors_are_bounded(self, results):
+        for dp in ("dp-timer", "dp-ant"):
+            assert results[dp].max_l1_error("Q2") < 100
+
+    def test_set_outsources_most_data(self, results):
+        set_mb = results["set"].total_data_megabytes()
+        for other in ("sur", "dp-timer", "dp-ant", "oto"):
+            assert set_mb > results[other].total_data_megabytes()
+
+    def test_dp_storage_close_to_sur(self, results):
+        sur_mb = results["sur"].total_data_megabytes()
+        for dp in ("dp-timer", "dp-ant"):
+            assert results[dp].total_data_megabytes() <= 1.8 * sur_mb
+
+    def test_set_qet_larger_than_dp(self, results):
+        for query in ("Q1", "Q2", "Q3"):
+            set_qet = results["set"].mean_qet(query)
+            for dp in ("dp-timer", "dp-ant"):
+                assert set_qet > results[dp].mean_qet(query)
+
+    def test_join_gap_exceeds_linear_gap(self, results):
+        """The SET/DP performance gap is larger for the quadratic join (Q3).
+
+        At the down-scaled workload size the fixed per-query overhead masks
+        the scan work, so the comparison is made on the data-dependent part
+        of the QET (total minus the back-end's per-query base cost).
+        """
+        from repro.edb.cost_model import OBLIDB_COSTS
+
+        base = OBLIDB_COSTS.query_base
+        dp = results["dp-timer"]
+        ratio_linear = (results["set"].mean_qet("Q2") - base) / (dp.mean_qet("Q2") - base)
+        ratio_join = (results["set"].mean_qet("Q3") - base) / (dp.mean_qet("Q3") - base)
+        assert ratio_join > ratio_linear
+
+
+class TestSweepDrivers:
+    def test_privacy_sweep_structure(self):
+        sweep = run_privacy_sweep(
+            epsilons=(0.1, 1.0), scale=SCALE, query_interval=240, seed=5
+        )
+        assert set(sweep) == {"dp-timer", "dp-ant"}
+        assert set(sweep["dp-timer"]) == {0.1, 1.0}
+        for by_eps in sweep.values():
+            for result in by_eps.values():
+                assert result.query_names() == ("Q2",)
+
+    def test_parameter_sweep_structure(self):
+        sweep = run_parameter_sweep(
+            "dp-timer", values=(10, 100), scale=SCALE, query_interval=240, seed=5
+        )
+        assert set(sweep) == {10, 100}
+
+    def test_parameter_sweep_rejects_naive_strategy(self):
+        with pytest.raises(ValueError):
+            run_parameter_sweep("sur", values=(10,), scale=SCALE)
+
+    def test_make_backend_unknown(self):
+        with pytest.raises(KeyError):
+            make_backend("mystery")
+
+    def test_backend_factories(self):
+        assert isinstance(make_backend("oblidb")(), ObliDB)
+        assert isinstance(make_backend("crypte")(), CryptEpsilon)
+
+    def test_taxi_workload_scaling(self):
+        workloads = taxi_workloads(scale=0.01, include_green=False)
+        assert set(workloads) == {"YellowCab"}
+        assert workloads["YellowCab"].horizon == 432
+        with pytest.raises(ValueError):
+            taxi_workloads(scale=2.0)
+
+    def test_endtoend_config_queries_for_backend(self):
+        oblidb_queries = EndToEndConfig(backend="oblidb").queries_for_backend()
+        crypte_queries = EndToEndConfig(backend="crypte").queries_for_backend()
+        assert [q.name for q in oblidb_queries] == ["Q1", "Q2", "Q3"]
+        assert [q.name for q in crypte_queries] == ["Q1", "Q2"]

@@ -1,0 +1,158 @@
+"""Tests for arrival-process generators and the synthetic taxi workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.edb.records import Schema
+from repro.workload.generator import (
+    build_growing_database,
+    bursty_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+    records_from_arrivals,
+    sparse_arrivals,
+)
+from repro.workload.nyc_taxi import (
+    GREEN_SCHEMA,
+    JUNE_2020_MINUTES,
+    NUM_PICKUP_ZONES,
+    YELLOW_SCHEMA,
+    clean_taxi_rows,
+    generate_green_taxi,
+    generate_yellow_cab,
+    scaled_workloads,
+)
+
+SCHEMA = Schema("events", ("sensor_id", "value"))
+
+
+def sampler(t, rng):
+    return {"sensor_id": int(rng.integers(0, 5)), "value": float(t)}
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate(self):
+        rng = np.random.default_rng(0)
+        arrivals = poisson_arrivals(20_000, 0.3, rng)
+        assert len(arrivals) == 20_000
+        assert 0.27 <= np.mean(arrivals) <= 0.33
+
+    def test_poisson_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1, 0.5, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, 1.5, rng)
+
+    def test_diurnal_has_day_night_contrast(self):
+        rng = np.random.default_rng(1)
+        arrivals = diurnal_arrivals(1440 * 10, base_rate=0.05, peak_rate=0.9, rng=rng)
+        arr = np.array(arrivals).reshape(10, 1440)
+        by_minute = arr.mean(axis=0)
+        night = by_minute[:360].mean()
+        day = by_minute[600:1080].mean()
+        assert day > night
+
+    def test_bursty_produces_runs(self):
+        rng = np.random.default_rng(2)
+        arrivals = bursty_arrivals(5000, burst_probability=0.02, burst_length=20, rng=rng)
+        # Find at least one run of 20 consecutive arrivals.
+        longest, current = 0, 0
+        for a in arrivals:
+            current = current + 1 if a else 0
+            longest = max(longest, current)
+        assert longest >= 20
+
+    def test_sparse_exact_count(self):
+        rng = np.random.default_rng(3)
+        arrivals = sparse_arrivals(1000, 37, rng)
+        assert sum(arrivals) == 37
+        with pytest.raises(ValueError):
+            sparse_arrivals(10, 20, rng)
+
+    def test_records_from_arrivals(self):
+        rng = np.random.default_rng(4)
+        arrivals = [True, False, True]
+        updates = records_from_arrivals(arrivals, SCHEMA, sampler, rng)
+        assert len(updates) == 3
+        assert updates[1] is None
+        assert updates[0].arrival_time == 1
+        assert updates[2].table == "events"
+
+    def test_build_growing_database(self):
+        rng = np.random.default_rng(5)
+        arrivals = poisson_arrivals(200, 0.5, rng)
+        db = build_growing_database(SCHEMA, arrivals, sampler, rng)
+        assert db.horizon == 200
+        assert db.total_records == sum(arrivals)
+
+
+class TestTaxiCleaning:
+    def test_drops_invalid_rows(self):
+        rows = [(None, 5), (10, None), (-5, 3), (10, 300), (10, 0), (20, 40)]
+        cleaned = clean_taxi_rows(rows)
+        assert cleaned == [(20, 40)]
+
+    def test_deduplicates_same_minute(self):
+        rows = [(7, 10), (7, 20), (7, 30), (8, 40)]
+        cleaned = clean_taxi_rows(rows)
+        assert cleaned == [(7, 10), (8, 40)]
+
+    def test_sorted_output(self):
+        rows = [(30, 1), (10, 2), (20, 3)]
+        assert [m for m, _ in clean_taxi_rows(rows)] == [10, 20, 30]
+
+
+class TestTaxiGenerators:
+    def test_full_scale_matches_published_counts(self):
+        yellow = generate_yellow_cab(np.random.default_rng(0))
+        green = generate_green_taxi(np.random.default_rng(1))
+        assert yellow.horizon == JUNE_2020_MINUTES
+        assert yellow.total_records == 18_429
+        assert green.total_records == 21_300
+        assert yellow.table == "YellowCab"
+        assert green.table == "GreenTaxi"
+
+    def test_at_most_one_record_per_minute(self):
+        yellow = generate_yellow_cab(np.random.default_rng(2), horizon=2000, target_records=900)
+        minutes = [u.arrival_time for u in yellow.updates if u is not None]
+        assert len(minutes) == len(set(minutes))
+
+    def test_attributes_in_domain(self):
+        yellow = generate_yellow_cab(np.random.default_rng(3), horizon=3000, target_records=1200)
+        for update in yellow.updates:
+            if update is None:
+                continue
+            assert 1 <= update["pickupID"] <= NUM_PICKUP_ZONES
+            assert update["pickTime"] == update.arrival_time
+
+    def test_diurnal_shape(self):
+        yellow = generate_yellow_cab(np.random.default_rng(4))
+        indicator = np.array(yellow.update_indicator())
+        days = indicator[: 1440 * 30].reshape(30, 1440)
+        by_minute = days.mean(axis=0)
+        night = by_minute[120:360].mean()   # 02:00-06:00
+        evening = by_minute[1020:1260].mean()  # 17:00-21:00
+        assert evening > night
+
+    def test_deterministic_given_seed(self):
+        a = generate_yellow_cab(np.random.default_rng(7), horizon=2000, target_records=700)
+        b = generate_yellow_cab(np.random.default_rng(7), horizon=2000, target_records=700)
+        assert a.update_indicator() == b.update_indicator()
+
+    def test_too_many_records_rejected(self):
+        with pytest.raises(ValueError):
+            generate_yellow_cab(np.random.default_rng(8), horizon=10, target_records=20)
+
+    def test_scaled_workloads(self):
+        workloads = scaled_workloads(0.02)
+        assert set(workloads) == {"YellowCab", "GreenTaxi"}
+        assert workloads["YellowCab"].horizon == workloads["GreenTaxi"].horizon
+        with pytest.raises(ValueError):
+            scaled_workloads(0.0)
+
+    def test_schemas_exported(self):
+        assert YELLOW_SCHEMA.attributes == ("pickupID", "pickTime")
+        assert GREEN_SCHEMA.name == "GreenTaxi"

@@ -1,0 +1,65 @@
+"""Tests for the TLC CSV loader (runs against generated CSV fixtures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.loader import load_taxi_csv
+from repro.workload.nyc_taxi import YELLOW_SCHEMA
+
+
+def write_csv(path, rows, time_column="tpep_pickup_datetime", zone_column="PULocationID"):
+    lines = [f"{time_column},{zone_column},extra"]
+    lines += [f"{stamp},{zone},x" for stamp, zone in rows]
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestLoadTaxiCSV:
+    def test_loads_and_cleans(self, tmp_path):
+        csv_path = tmp_path / "yellow.csv"
+        write_csv(
+            csv_path,
+            [
+                ("2020-06-01 00:05:00", "12"),
+                ("2020-06-01 00:05:30", "99"),   # same minute -> deduplicated
+                ("2020-06-01 01:00:00", "40"),
+                ("2020-05-31 23:59:00", "7"),    # before June -> dropped
+                ("2020-06-01 02:00:00", ""),     # missing zone -> dropped
+                ("not-a-date", "5"),             # invalid timestamp -> dropped
+            ],
+        )
+        db = load_taxi_csv(csv_path, YELLOW_SCHEMA, horizon=43_200)
+        assert db.table == "YellowCab"
+        assert db.total_records == 2
+        assert db.update_at(5)["pickupID"] == 12
+        assert db.update_at(60)["pickupID"] == 40
+
+    def test_green_column_names(self, tmp_path):
+        csv_path = tmp_path / "green.csv"
+        write_csv(
+            csv_path,
+            [("2020-06-02 10:00:00", "33")],
+            time_column="lpep_pickup_datetime",
+            zone_column="PULocationID",
+        )
+        db = load_taxi_csv(csv_path, YELLOW_SCHEMA)
+        assert db.total_records == 1
+
+    def test_missing_columns_raise(self, tmp_path):
+        csv_path = tmp_path / "bad.csv"
+        csv_path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(ValueError):
+            load_taxi_csv(csv_path, YELLOW_SCHEMA)
+
+    def test_empty_file_raises(self, tmp_path):
+        csv_path = tmp_path / "empty.csv"
+        csv_path.write_text("")
+        with pytest.raises(ValueError):
+            load_taxi_csv(csv_path, YELLOW_SCHEMA)
+
+    def test_record_at_minute_zero_goes_to_initial(self, tmp_path):
+        csv_path = tmp_path / "zero.csv"
+        write_csv(csv_path, [("2020-06-01 00:00:30", "8")])
+        db = load_taxi_csv(csv_path, YELLOW_SCHEMA)
+        assert len(db.initial) == 1
+        assert db.initial[0]["pickupID"] == 8

@@ -1,0 +1,91 @@
+"""Tests for the growing-database abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.edb.records import Record, Schema, make_dummy_record
+from repro.workload.stream import GrowingDatabase
+
+SCHEMA = Schema("t", ("a",))
+
+
+def rec(i, table="t"):
+    return Record(values={"a": i}, arrival_time=i, table=table)
+
+
+class TestConstruction:
+    def test_basic(self):
+        db = GrowingDatabase(table="t", initial=[rec(0)], updates=[rec(1), None, rec(3)])
+        assert db.horizon == 3
+        assert db.total_records == 3
+        assert db.occupancy == pytest.approx(2 / 3)
+
+    def test_rejects_dummy_records(self):
+        with pytest.raises(ValueError):
+            GrowingDatabase(table="t", initial=[make_dummy_record(SCHEMA)], updates=[])
+
+    def test_rejects_foreign_table_records(self):
+        with pytest.raises(ValueError):
+            GrowingDatabase(table="t", initial=[rec(0, table="other")], updates=[])
+
+    def test_empty_database(self):
+        db = GrowingDatabase(table="t")
+        assert db.horizon == 0
+        assert db.total_records == 0
+        assert db.occupancy == 0.0
+
+
+class TestViews:
+    @pytest.fixture
+    def db(self):
+        updates = [rec(t) if t % 2 == 1 else None for t in range(1, 11)]
+        return GrowingDatabase(table="t", initial=[rec(0)], updates=updates)
+
+    def test_update_at(self, db):
+        assert db.update_at(1) is not None
+        assert db.update_at(2) is None
+        assert db.update_at(0) is None
+        assert db.update_at(99) is None
+
+    def test_logical_at_and_size(self, db):
+        assert len(db.logical_at(0)) == 1
+        assert len(db.logical_at(5)) == 1 + 3
+        assert db.logical_size_at(5) == 4
+        assert db.logical_size_at(10) == db.total_records
+        assert db.logical_size_at(999) == db.total_records
+
+    def test_iter_times(self, db):
+        times = [t for t, _ in db.iter_times()]
+        assert times == list(range(1, 11))
+
+    def test_update_indicator(self, db):
+        indicator = db.update_indicator()
+        assert len(indicator) == 10
+        assert sum(indicator) == 5
+
+    def test_truncated(self, db):
+        shorter = db.truncated(4)
+        assert shorter.horizon == 4
+        assert shorter.total_records == 1 + 2
+        with pytest.raises(ValueError):
+            db.truncated(-1)
+
+
+class TestFromTimestampedRecords:
+    def test_builds_initial_and_updates(self):
+        records = [rec(0), rec(3), rec(7)]
+        db = GrowingDatabase.from_timestamped_records("t", records, horizon=10)
+        assert len(db.initial) == 1
+        assert db.update_at(3) is not None
+        assert db.update_at(7) is not None
+        assert db.total_records == 3
+
+    def test_rejects_collisions(self):
+        records = [rec(3), Record(values={"a": 99}, arrival_time=3, table="t")]
+        with pytest.raises(ValueError):
+            GrowingDatabase.from_timestamped_records("t", records, horizon=10)
+
+    def test_rejects_out_of_horizon(self):
+        with pytest.raises(ValueError):
+            GrowingDatabase.from_timestamped_records("t", [rec(11)], horizon=10)
