@@ -1,0 +1,132 @@
+"""Engine-vs-legacy wall-clock benchmark.
+
+Replays a sparse 50,000-tick, 3-table DP-Timer workload twice -- once
+through the original per-tick loop (:meth:`Simulation.run_legacy`) and once
+through the scheduled-event engine (:meth:`Simulation.run`) -- and records
+the wall-clock of each.  On a sparse stream the legacy loop spends almost
+all of its time on dead iterations (strategy steps that are no-ops), which
+the engine skips entirely, so the speedup grows with the quiet fraction of
+the horizon.
+
+The results are emitted to ``BENCH_engine.json`` at the repository root to
+seed the performance trajectory across PRs; the test also asserts the
+acceptance floor of a 3x speedup and that both paths produce identical
+results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import emit_report
+from repro.core.strategies.flush import FlushPolicy
+from repro.edb.oblidb import ObliDB
+from repro.edb.records import Record
+from repro.query.ast import CountQuery
+from repro.query.predicates import RangePredicate
+from repro.simulation.simulator import Simulation, SimulationConfig
+from repro.workload.stream import GrowingDatabase
+
+HORIZON = 50_000
+TABLES = 3
+RECORDS_PER_TABLE = 500  # occupancy 1%: the stream is quiet 99% of the time
+TIMER_PERIOD = 120  # sparse sync schedule to match the sparse stream
+# The acceptance floor is 3x (local margin ~4.6x); shared CI runners set a
+# lower smoke floor because wall-clock ratios are noisy there.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def sparse_workloads(seed: int = 0) -> dict[str, GrowingDatabase]:
+    """Three sparse streams with a fixed arrival layout per seed."""
+    rng = np.random.default_rng(seed)
+    workloads: dict[str, GrowingDatabase] = {}
+    for index in range(TABLES):
+        table = f"Sensor{index}"
+        times = np.sort(
+            rng.choice(np.arange(1, HORIZON + 1), size=RECORDS_PER_TABLE, replace=False)
+        )
+        updates: list[Record | None] = [None] * HORIZON
+        for t in times:
+            t = int(t)
+            updates[t - 1] = Record(
+                values={"sensor_id": index, "value": t % 97},
+                arrival_time=t,
+                table=table,
+            )
+        workloads[table] = GrowingDatabase(table=table, updates=updates)
+    return workloads
+
+
+def build_simulation(workloads) -> Simulation:
+    config = SimulationConfig(
+        strategy="dp-timer",
+        epsilon=0.5,
+        timer_period=TIMER_PERIOD,
+        flush=FlushPolicy(interval=2000, size=15),
+        query_interval=5000,
+        seed=7,
+    )
+    queries = [
+        CountQuery(
+            table="Sensor0",
+            predicate=RangePredicate("value", 10, 60),
+            label="Q1",
+        )
+    ]
+    return Simulation(
+        edb_factory=lambda: ObliDB(rng=np.random.default_rng(1)),
+        workloads=workloads,
+        queries=queries,
+        config=config,
+    )
+
+
+def test_engine_speedup_over_legacy_loop(bench_settings):
+    workloads = sparse_workloads()
+
+    start = time.perf_counter()
+    legacy_result = build_simulation(workloads).run_legacy()
+    legacy_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    engine_result = build_simulation(workloads).run()
+    engine_seconds = time.perf_counter() - start
+
+    assert engine_result == legacy_result, "engine run diverged from legacy loop"
+    speedup = legacy_seconds / max(engine_seconds, 1e-9)
+
+    payload = {
+        "benchmark": "engine_speed",
+        "horizon": HORIZON,
+        "tables": TABLES,
+        "records_per_table": RECORDS_PER_TABLE,
+        "strategy": "dp-timer",
+        "timer_period": TIMER_PERIOD,
+        "legacy_seconds": round(legacy_seconds, 4),
+        "engine_seconds": round(engine_seconds, 4),
+        "speedup": round(speedup, 2),
+        "sync_count": legacy_result.sync_count,
+        "total_update_volume": legacy_result.total_update_volume,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit_report(
+        "engine_speed",
+        "Event-driven engine vs. legacy per-tick loop "
+        f"({TABLES} tables x {HORIZON} ticks, {RECORDS_PER_TABLE} records/table)\n\n"
+        f"legacy loop : {legacy_seconds:8.3f} s\n"
+        f"engine      : {engine_seconds:8.3f} s\n"
+        f"speedup     : {speedup:8.2f} x\n"
+        f"(results identical: sync_count={legacy_result.sync_count}, "
+        f"volume={legacy_result.total_update_volume})",
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x speedup, measured {speedup:.2f}x"
+    )

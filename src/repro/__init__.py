@@ -26,6 +26,8 @@ The subpackages are organised as:
   simulators, ORAM, leakage classification);
 * :mod:`repro.query` -- predicates, relational plans, dummy-aware rewriting,
   execution and a small SQL front-end;
+* :mod:`repro.engine` -- the scheduled-event core the simulator runs on
+  (owners wake only at arrivals and self-scheduled times);
 * :mod:`repro.workload` -- growing databases, arrival processes and the NYC
   taxi workloads;
 * :mod:`repro.simulation` -- the experiment harness behind every table and
@@ -60,6 +62,7 @@ from repro.edb import (
     Schema,
     make_dummy_record,
 )
+from repro.engine import Engine, EventScheduler
 from repro.query import (
     CountQuery,
     GroupByCountQuery,
@@ -67,6 +70,7 @@ from repro.query import (
     Query,
     parse_query,
 )
+from repro.query.incremental import IncrementalTruth
 from repro.workload import GrowingDatabase, generate_green_taxi, generate_yellow_cab
 from repro.simulation import (
     EndToEndConfig,
@@ -91,9 +95,12 @@ __all__ = [
     "DPTimerStrategy",
     "EncryptedDatabase",
     "EndToEndConfig",
+    "Engine",
+    "EventScheduler",
     "FlushPolicy",
     "GroupByCountQuery",
     "GrowingDatabase",
+    "IncrementalTruth",
     "JoinCountQuery",
     "LeakageClass",
     "LocalCache",

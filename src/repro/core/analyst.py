@@ -10,15 +10,19 @@ error metric (Section 4.5.2) can be reported.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.metrics import query_error
 from repro.edb.base import EncryptedDatabase, QueryResult
 from repro.edb.records import Record
 from repro.query.ast import Query
 from repro.query.executor import Answer, ground_truth
+from repro.query.incremental import IncrementalTruth
 
 __all__ = ["Analyst", "AnalystObservation"]
+
+#: Logical tables for ground truth: an eager mapping or a lazy provider.
+LogicalTables = Mapping[str, Sequence[Record]]
 
 
 @dataclass(frozen=True)
@@ -39,16 +43,37 @@ class AnalystObservation:
 
 
 class Analyst:
-    """Issues queries against an EDB and tracks accuracy against ground truth."""
+    """Issues queries against an EDB and tracks accuracy against ground truth.
 
-    def __init__(self, edb: EncryptedDatabase) -> None:
+    Parameters
+    ----------
+    edb:
+        The encrypted database to query.
+    truth_source:
+        Optional :class:`~repro.query.incremental.IncrementalTruth` holding
+        maintained per-table aggregates.  Covered queries read the maintained
+        state in O(1) instead of rescanning the logical tables; maintainable
+        but unregistered queries are registered on first sight (bootstrapped
+        from the provided logical tables).  Uncovered shapes fall back to a
+        full rescan.
+    """
+
+    def __init__(
+        self, edb: EncryptedDatabase, truth_source: IncrementalTruth | None = None
+    ) -> None:
         self._edb = edb
+        self._truth_source = truth_source
         self._observations: list[AnalystObservation] = []
+
+    @property
+    def truth_source(self) -> IncrementalTruth | None:
+        """The maintained-aggregate source, when incremental truth is enabled."""
+        return self._truth_source
 
     def query(
         self,
         query: Query,
-        logical_tables: Mapping[str, Sequence[Record]],
+        logical_tables: LogicalTables | Callable[[], LogicalTables] | None = None,
         time: int = 0,
     ) -> AnalystObservation:
         """Run ``query`` via the EDB's Query protocol and score it.
@@ -58,14 +83,16 @@ class Analyst:
         query:
             The analyst's query.
         logical_tables:
-            The owners' logical databases, used only to compute the
-            ground-truth answer for the error metric (the analyst is trusted
-            and, in the paper's evaluation, is co-located with the owner).
+            The owners' logical databases (or a zero-argument callable
+            producing them, resolved only when actually needed), used only to
+            compute the ground-truth answer for the error metric (the analyst
+            is trusted and, in the paper's evaluation, is co-located with the
+            owner).  May be omitted when a ``truth_source`` covers the query.
         time:
             Simulation time at which the query is posed.
         """
         result: QueryResult = self._edb.query(query, time=time)
-        truth = ground_truth(query, logical_tables)
+        truth = self._ground_truth(query, logical_tables)
         observation = AnalystObservation(
             time=time,
             query_name=query.name,
@@ -76,6 +103,27 @@ class Analyst:
         )
         self._observations.append(observation)
         return observation
+
+    def _ground_truth(
+        self,
+        query: Query,
+        logical_tables: LogicalTables | Callable[[], LogicalTables] | None,
+    ) -> Answer:
+        source = self._truth_source
+        if source is not None and source.covers(query):
+            return source.answer(query)
+        tables = logical_tables() if callable(logical_tables) else logical_tables
+        if tables is None:
+            raise ValueError(
+                f"query {query.name!r} is not covered by the maintained "
+                "aggregates and no logical tables were provided"
+            )
+        if source is not None and source.can_maintain(query):
+            # First sight of a maintainable query: bootstrap from the current
+            # logical state, then maintain deltas from here on.
+            source.register(query, tables)
+            return source.answer(query)
+        return ground_truth(query, tables)
 
     @property
     def observations(self) -> tuple[AnalystObservation, ...]:

@@ -121,6 +121,26 @@ class SyncStrategy(abc.ABC):
     def _step(self, time: int, update: Record | None) -> SyncDecision:
         """Strategy-specific per-step logic (update already cached if needed)."""
 
+    # -- scheduling hint --------------------------------------------------------
+
+    def next_event(self, now: int) -> int | None:
+        """Next time after ``now`` the strategy must be stepped absent arrivals.
+
+        The event-driven engine (:mod:`repro.engine`) steps a strategy at
+        every logical arrival and at every self-scheduled time returned here;
+        the time units in between are skipped entirely.  Skipping a tick is
+        sound only when :meth:`_step` at that tick would be a pure no-op: no
+        state change, no RNG draw, no synchronization decision.  Subclasses
+        that are idle between triggers override this to jump straight to
+        their next trigger (e.g. the next timer boundary or flush tick).
+
+        Returns ``None`` when the strategy never acts without an arrival.
+        The default of ``now + 1`` (wake every tick) is always safe and keeps
+        unknown subclasses exactly equivalent to the per-tick loop.
+        Spurious wake-ups are harmless; missing one is a correctness bug.
+        """
+        return now + 1
+
     # -- template methods ------------------------------------------------------
 
     def setup(self, initial: Sequence[Record]) -> list[Record]:

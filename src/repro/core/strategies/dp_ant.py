@@ -82,6 +82,10 @@ class DPANTStrategy(SyncStrategy):
         )
         self._round_received = 0
         self._round_index = 0
+        # Whether the next comparison could fire without a new arrival: true
+        # until the first step and right after a crossing (both draw a fresh
+        # noisy threshold and held noise, so 0 + noise may already cross).
+        self._comparison_pending = True
 
     @property
     def epsilon(self) -> float:
@@ -113,6 +117,22 @@ class DPANTStrategy(SyncStrategy):
         self._sparse.reset(self._rng)
         return gamma0
 
+    def next_event(self, now: int) -> int | None:
+        """When the strategy must be stepped even without an arrival.
+
+        With resampled comparison noise (Algorithm 3 as printed) every time
+        unit draws fresh ``Lap(4/eps1)`` noise and may cross the threshold,
+        so no tick can be skipped.  With held noise the comparison outcome is
+        constant between arrivals and crossings, so only the tick right after
+        a crossing (fresh threshold and held noise) and the flush schedule
+        need a wake-up.
+        """
+        if self._sparse.resample_noise or self._comparison_pending:
+            return now + 1
+        if self._flush.enabled and self._flush.size > 0:
+            return ((now // self._flush.interval) + 1) * self._flush.interval
+        return None
+
     def _step(self, time: int, update: Record | None) -> SyncDecision:
         if update is not None:
             self.cache.write(update)
@@ -121,7 +141,9 @@ class DPANTStrategy(SyncStrategy):
         records: list[Record] = []
         reasons: list[str] = []
 
-        if self._sparse.step(self._round_received, self._rng):
+        fired = self._sparse.step(self._round_received, self._rng)
+        self._comparison_pending = fired
+        if fired:
             self._round_index += 1
             records.extend(
                 perturb(self._round_received, self._epsilon_fetch, self.cache, self._rng, time)

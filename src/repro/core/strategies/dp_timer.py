@@ -97,6 +97,19 @@ class DPTimerStrategy(SyncStrategy):
         """What Perturb perturbs at each tick (``"window"`` or ``"cache"``)."""
         return self._count_mode
 
+    def next_event(self, now: int) -> int | None:
+        """The next timer boundary or flush tick, whichever comes first.
+
+        Between those two schedules a step without an arrival touches no
+        state and draws no noise, so the engine may skip it.
+        """
+        candidates = [((now // self._period) + 1) * self._period]
+        if self._flush.enabled and self._flush.size > 0:
+            candidates.append(
+                ((now // self._flush.interval) + 1) * self._flush.interval
+            )
+        return min(candidates)
+
     def _initial_records(self, initial: Sequence[Record]) -> list[Record]:
         gamma0 = perturb(len(initial), self._epsilon, self.cache, self._rng, 0)
         self.accountant.spend(self._epsilon, partition="setup", label="M_setup")

@@ -31,6 +31,10 @@ class SURStrategy(SyncStrategy):
     def epsilon(self) -> float:
         return float("inf")
 
+    def next_event(self, now: int) -> int | None:
+        # SUR only ever reacts to arrivals; quiet ticks are no-ops.
+        return None
+
     def _initial_records(self, initial: Sequence[Record]) -> list[Record]:
         # Everything received so far is outsourced immediately.
         return self.cache.drain()
@@ -49,6 +53,10 @@ class OTOStrategy(SyncStrategy):
     @property
     def epsilon(self) -> float:
         return 0.0
+
+    def next_event(self, now: int) -> int | None:
+        # OTO is offline after setup; only arrivals touch its bookkeeping.
+        return None
 
     def _initial_records(self, initial: Sequence[Record]) -> list[Record]:
         return self.cache.drain()
@@ -69,6 +77,11 @@ class SETStrategy(SyncStrategy):
     @property
     def epsilon(self) -> float:
         return 0.0
+
+    def next_event(self, now: int) -> int | None:
+        # SET uploads one record (real or dummy) every single time unit, so
+        # no tick may ever be skipped.
+        return now + 1
 
     def _initial_records(self, initial: Sequence[Record]) -> list[Record]:
         return self.cache.drain()

@@ -94,6 +94,11 @@ class PrivacyAccountant:
 
     budget: float | None = None
     _spends: list[PrivacySpend] = field(default_factory=list, init=False)
+    # Running sequential totals per partition and their running maximum, so
+    # every spend composes in O(1) instead of re-scanning the whole history
+    # (the accountant sits on the per-synchronization hot path).
+    _partition_totals: dict[str, float] = field(default_factory=dict, init=False)
+    _composed: float = field(default=0.0, init=False)
 
     @property
     def spends(self) -> tuple[PrivacySpend, ...]:
@@ -103,25 +108,25 @@ class PrivacyAccountant:
     def spend(self, epsilon: float, partition: str, label: str = "") -> PrivacySpend:
         """Record a spend of ``epsilon`` against ``partition``."""
         candidate = PrivacySpend(epsilon=epsilon, partition=partition, label=label)
-        projected = self._compose(self._spends + [candidate])
+        partition_total = self._partition_totals.get(partition, 0.0) + epsilon
+        projected = max(self._composed, partition_total)
         if self.budget is not None and projected > self.budget + 1e-9:
             raise BudgetExceededError(
                 f"spending {epsilon} on partition {partition!r} would raise the "
                 f"composed guarantee to {projected:.6f} > budget {self.budget}"
             )
         self._spends.append(candidate)
+        self._partition_totals[partition] = partition_total
+        self._composed = projected
         return candidate
 
     def per_partition(self) -> dict[str, float]:
         """Sequentially-composed spend per partition."""
-        totals: dict[str, float] = {}
-        for spend in self._spends:
-            totals[spend.partition] = totals.get(spend.partition, 0.0) + spend.epsilon
-        return totals
+        return dict(self._partition_totals)
 
     def total_epsilon(self) -> float:
         """Overall guarantee: parallel composition across partitions."""
-        return self._compose(self._spends)
+        return self._composed
 
     def remaining(self) -> float | None:
         """Remaining budget, or ``None`` when no budget is configured."""
@@ -132,10 +137,5 @@ class PrivacyAccountant:
     def reset(self) -> None:
         """Forget all recorded spends."""
         self._spends.clear()
-
-    @staticmethod
-    def _compose(spends: list[PrivacySpend]) -> float:
-        totals: dict[str, float] = {}
-        for spend in spends:
-            totals[spend.partition] = totals.get(spend.partition, 0.0) + spend.epsilon
-        return parallel_composition(tuple(totals.values()))
+        self._partition_totals.clear()
+        self._composed = 0.0

@@ -27,14 +27,14 @@ The base class handles the bookkeeping that is common to every atomic EDB:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.edb.cost_model import CostModel, CostParameters, UnsupportedQueryError
 from repro.edb.crypto import EncryptedRecord, RecordCipher
 from repro.edb.leakage import LeakageClass, LeakageProfile
-from repro.edb.records import Record, count_dummy, count_real
+from repro.edb.records import Record, count_dummy
 from repro.query.ast import Query
 from repro.query.executor import Answer, PlaintextExecutor
 
@@ -125,6 +125,21 @@ class EncryptedDatabase:
         if not self._is_setup:
             raise RuntimeError("Update invoked before Setup")
         return self._ingest(list(records), time, is_setup=False)
+
+    def insert_many(
+        self, batches: Mapping[str, Sequence[Record]], time: int
+    ) -> UpdateResult:
+        """Batched Update protocol: records pre-grouped by table.
+
+        One invocation ingests the whole batch through a single cost-model
+        charge (one update round-trip, one storage charge), exactly like
+        :meth:`update`, but skips the per-record regrouping pass -- the owner
+        already knows every record of a decision targets its own table.
+        """
+        if not self._is_setup:
+            raise RuntimeError("Update invoked before Setup")
+        grouped = {table: list(rows) for table, rows in batches.items() if rows}
+        return self._ingest_grouped(grouped, time, is_setup=False)
 
     def query(self, query: Query, time: int = 0) -> QueryResult:
         """Run the Query protocol and return the analyst-visible answer."""
@@ -234,17 +249,25 @@ class EncryptedDatabase:
         for record in records:
             table = record.table or "default"
             by_table.setdefault(table, []).append(record)
+        return self._ingest_grouped(by_table, time, is_setup)
 
+    def _ingest_grouped(
+        self, by_table: dict[str, list[Record]], time: int, is_setup: bool
+    ) -> UpdateResult:
+        num_records = 0
+        dummies = 0
         for table, rows in by_table.items():
             self._executor.append(table, rows)
+            table_dummies = count_dummy(rows)
+            num_records += len(rows)
+            dummies += table_dummies
             self._table_totals[table] = self._table_totals.get(table, 0) + len(rows)
-            self._table_dummies[table] = self._table_dummies.get(table, 0) + count_dummy(rows)
+            self._table_dummies[table] = self._table_dummies.get(table, 0) + table_dummies
             if self._cipher is not None:
                 encrypted = [self._cipher.encrypt(row) for row in rows]
                 self._ciphertexts.setdefault(table, []).extend(encrypted)
             self._on_records_stored(table, rows)
 
-        num_records = len(records)
         bytes_added = self._cost_model.storage_bytes(num_records)
         self._storage_bytes += bytes_added
         duration = (
@@ -254,8 +277,8 @@ class EncryptedDatabase:
         )
         result = UpdateResult(
             time=time,
-            records_added=count_real(records),
-            dummies_added=count_dummy(records),
+            records_added=num_records - dummies,
+            dummies_added=dummies,
             bytes_added=bytes_added,
             duration_seconds=duration,
         )

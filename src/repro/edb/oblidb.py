@@ -86,6 +86,8 @@ class ObliDB(EncryptedDatabase):
         if oram is None:
             oram = PathORAM(capacity=self._oram_capacity, rng=self._rng)
             self._orams[table] = oram
-        for record in records:
-            oram.write(self._next_block_id, record)
-            self._next_block_id += 1
+        start = self._next_block_id
+        self._next_block_id += len(records)
+        oram.write_many(
+            (start + offset, record) for offset, record in enumerate(records)
+        )

@@ -19,7 +19,7 @@ reads/writes, which the ObliDB cost model charges for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -120,6 +120,16 @@ class PathORAM:
         if block_id not in self._position_map and len(self._position_map) >= self._capacity:
             raise ValueError(f"ORAM capacity of {self._capacity} blocks exceeded")
         self._access(block_id, payload, is_write=True)
+
+    def write_many(self, items: Iterable[tuple[int, Any]]) -> None:
+        """Insert a batch of ``(block_id, payload)`` pairs.
+
+        Each block still performs its own oblivious access (Path ORAM hides
+        per-block paths, so a batch cannot share evictions), but callers get
+        a single entry point for a whole update decision.
+        """
+        for block_id, payload in items:
+            self.write(block_id, payload)
 
     def read(self, block_id: int) -> Any:
         """Read the payload of ``block_id`` (raises ``KeyError`` if absent)."""

@@ -1,0 +1,224 @@
+"""The event-driven engine.
+
+:class:`Engine` advances simulated time by popping scheduled events instead
+of iterating every time unit.  Two kinds of participants register on it:
+
+* **streams** -- one per (owner, workload) pair.  A stream is woken at every
+  logical arrival of its workload and at every self-scheduled time its
+  strategy reports through ``next_self_event`` (the
+  :meth:`~repro.core.strategies.base.SyncStrategy.next_event` hint).  A wake
+  calls ``deliver(time, update)`` -- in the simulator that is
+  :meth:`repro.core.owner.Owner.tick`.
+* **periodic callbacks** -- e.g. the analyst's query schedule.  They fire at
+  every multiple of their interval, *after* all stream activity of that time
+  unit (streams carry a lower priority class).
+
+Within one time unit, streams fire in registration order, then periodics in
+registration order -- exactly the iteration order of the legacy per-tick
+loop, so a run over the engine reproduces the loop's transcript verbatim
+whenever skipped ticks are strategy no-ops (which ``next_event`` guarantees).
+
+Stale wake-ups (a self-event and an arrival landing on the same tick) are
+deduplicated by tracking each stream's last delivered time; a stream is
+never delivered the same time unit twice and never travels backwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.edb.records import Record
+from repro.engine.events import EventScheduler
+
+__all__ = ["Engine", "EngineStats"]
+
+#: Priority classes: all stream wake-ups of a tick precede all periodics.
+_STREAM_CLASS = 0
+_PERIODIC_CLASS = 1
+
+
+@dataclass
+class EngineStats:
+    """Work counters of one engine run (exposed for tests and benchmarks)."""
+
+    events_scheduled: int = 0
+    events_processed: int = 0
+    ticks_delivered: int = 0
+    stale_skipped: int = 0
+    periodic_fired: int = 0
+
+
+@dataclass
+class _Stream:
+    name: str
+    deliver: Callable[[int, Record | None], object]
+    arrivals: Iterator[tuple[int, Record]]
+    next_self_event: Callable[[int], int | None] | None
+    index: int
+    pending: tuple[int, Record] | None = None
+    last_tick: int = 0
+
+
+@dataclass
+class _Periodic:
+    callback: Callable[[int], object]
+    interval: int
+    index: int
+
+
+class Engine:
+    """Scheduled-event simulation core bounded by ``horizon`` time units."""
+
+    def __init__(self, horizon: int) -> None:
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        self._horizon = horizon
+        self._scheduler = EventScheduler()
+        self._streams: list[_Stream] = []
+        self._periodics: list[_Periodic] = []
+        self._stats = EngineStats()
+        self._ran = False
+
+    @property
+    def horizon(self) -> int:
+        """Last time unit (inclusive) the engine will process."""
+        return self._horizon
+
+    @property
+    def stats(self) -> EngineStats:
+        """Work counters (populated by :meth:`run`)."""
+        return self._stats
+
+    # -- registration -----------------------------------------------------------
+
+    def add_stream(
+        self,
+        name: str,
+        deliver: Callable[[int, Record | None], object],
+        arrivals: Iterable[tuple[int, Record]] = (),
+        next_self_event: Callable[[int], int | None] | None = None,
+    ) -> None:
+        """Register a stream.
+
+        Parameters
+        ----------
+        name:
+            Label used in error messages.
+        deliver:
+            Called as ``deliver(time, update)`` at every wake-up of the
+            stream; ``update`` is the arrival record when the wake-up
+            coincides with one, else ``None``.
+        arrivals:
+            Iterable of ``(time, record)`` pairs with strictly increasing
+            times (e.g. :meth:`GrowingDatabase.arrivals`); consumed lazily.
+        next_self_event:
+            Optional hint called after every delivery (and once with 0 before
+            the run) returning the next time the stream must be woken even
+            without an arrival, or ``None``.
+        """
+        if self._ran:
+            raise RuntimeError("streams must be registered before run()")
+        self._streams.append(
+            _Stream(
+                name=name,
+                deliver=deliver,
+                arrivals=iter(arrivals),
+                next_self_event=next_self_event,
+                index=len(self._streams),
+            )
+        )
+
+    def add_periodic(self, interval: int, callback: Callable[[int], object]) -> None:
+        """Register ``callback(time)`` to fire at every multiple of ``interval``."""
+        if self._ran:
+            raise RuntimeError("periodic callbacks must be registered before run()")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._periodics.append(
+            _Periodic(callback=callback, interval=interval, index=len(self._periodics))
+        )
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> EngineStats:
+        """Process every scheduled event up to the horizon (once per engine)."""
+        if self._ran:
+            raise RuntimeError("an Engine instance may only run once")
+        self._ran = True
+        for stream in self._streams:
+            self._pull_arrival(stream)
+            self._schedule_self(stream, 0)
+        for periodic in self._periodics:
+            if periodic.interval <= self._horizon:
+                self._scheduler.schedule(
+                    periodic.interval, (_PERIODIC_CLASS, periodic.index), periodic
+                )
+        while self._scheduler:
+            event = self._scheduler.pop()
+            if event.priority[0] == _STREAM_CLASS:
+                self._wake_stream(event.payload, event.time)
+            else:
+                self._fire_periodic(event.payload, event.time)
+        self._stats.events_scheduled = self._scheduler.events_scheduled
+        self._stats.events_processed = self._scheduler.events_processed
+        return self._stats
+
+    # -- internals ------------------------------------------------------------------
+
+    def _pull_arrival(self, stream: _Stream) -> None:
+        """Advance the arrival iterator and schedule the wake-up, if any."""
+        entry = next(stream.arrivals, None)
+        if entry is None:
+            stream.pending = None
+            return
+        time, record = entry
+        if stream.pending is not None and time <= stream.pending[0]:
+            raise ValueError(
+                f"stream {stream.name!r}: arrival times must be strictly "
+                f"increasing (got {time} after {stream.pending[0]})"
+            )
+        if time > self._horizon:
+            # Times are increasing, so everything further is out of range too.
+            stream.pending = None
+            return
+        stream.pending = (time, record)
+        self._scheduler.schedule(time, (_STREAM_CLASS, stream.index), stream)
+
+    def _schedule_self(self, stream: _Stream, now: int) -> None:
+        if stream.next_self_event is None:
+            return
+        when = stream.next_self_event(now)
+        if when is None:
+            return
+        if when <= now:
+            raise ValueError(
+                f"stream {stream.name!r}: next_event must be in the future "
+                f"(got {when} at time {now})"
+            )
+        if when <= self._horizon:
+            self._scheduler.schedule(when, (_STREAM_CLASS, stream.index), stream)
+
+    def _wake_stream(self, stream: _Stream, time: int) -> None:
+        if time <= stream.last_tick:
+            # A self-event and an arrival landed on the same tick; the first
+            # wake-up already delivered it.
+            self._stats.stale_skipped += 1
+            return
+        update: Record | None = None
+        if stream.pending is not None and stream.pending[0] == time:
+            update = stream.pending[1]
+            self._pull_arrival(stream)
+        stream.deliver(time, update)
+        stream.last_tick = time
+        self._stats.ticks_delivered += 1
+        self._schedule_self(stream, time)
+
+    def _fire_periodic(self, periodic: _Periodic, time: int) -> None:
+        periodic.callback(time)
+        self._stats.periodic_fired += 1
+        following = time + periodic.interval
+        if following <= self._horizon:
+            self._scheduler.schedule(
+                following, (_PERIODIC_CLASS, periodic.index), periodic
+            )

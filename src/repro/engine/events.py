@@ -1,0 +1,75 @@
+"""Scheduled-event primitives.
+
+The scheduler is a plain binary heap of ``(time, priority, sequence)`` keys.
+``priority`` is an arbitrary comparable (the engine uses ``(class, index)``
+tuples so all owner wake-ups of a tick precede the query schedule);
+``sequence`` is a monotonically increasing tiebreaker that keeps the order of
+same-key events stable and ensures payloads are never compared.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ScheduledEvent", "EventScheduler"]
+
+
+@dataclass(frozen=True, order=True)
+class ScheduledEvent:
+    """One heap entry: ``(time, priority, sequence)`` plus an opaque payload."""
+
+    time: int
+    priority: Any
+    sequence: int
+    payload: Any = field(compare=False)
+
+
+class EventScheduler:
+    """A min-heap of :class:`ScheduledEvent`, popped in time/priority order."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._pushed = 0
+        self._popped = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, time: int, priority: Any, payload: Any) -> ScheduledEvent:
+        """Push an event; same-key events pop in insertion order."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = ScheduledEvent(
+            time=time, priority=priority, sequence=next(self._sequence), payload=payload
+        )
+        heapq.heappush(self._heap, event)
+        self._pushed += 1
+        return event
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty scheduler")
+        self._popped += 1
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> int | None:
+        """Time of the earliest event, or ``None`` when empty."""
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever pushed."""
+        return self._pushed
+
+    @property
+    def events_processed(self) -> int:
+        """Total events ever popped."""
+        return self._popped

@@ -8,6 +8,16 @@ the traces the paper's figures and tables are built from.
 This mirrors the paper's experimental client: "the client takes as input a
 timestamped dataset but consumes only one record per round", with a one
 minute gap between rounds (Section 8, implementation and configuration).
+
+Since the event-driven refactor, :meth:`Simulation.run` is a thin wrapper
+over :class:`repro.engine.Engine`: owners are woken only at logical arrivals
+and at their strategies' self-scheduled times (timer boundaries, flush
+ticks), and ground-truth answers are maintained incrementally instead of
+rescanning the logical tables at every query time.  The original per-tick
+loop survives as :meth:`Simulation.run_legacy`; both paths produce
+bit-identical :class:`RunResult`\\ s at a fixed seed (see
+``tests/test_engine_equivalence.py``) and the benchmark
+``benchmarks/bench_engine_speed.py`` tracks the speedup.
 """
 
 from __future__ import annotations
@@ -23,7 +33,9 @@ from repro.core.strategies.flush import FlushPolicy
 from repro.core.strategies.registry import make_strategy
 from repro.edb.base import EncryptedDatabase
 from repro.edb.records import Schema, make_dummy_record
+from repro.engine import Engine
 from repro.query.ast import Query
+from repro.query.incremental import IncrementalTruth
 from repro.simulation.clock import SimulationClock
 from repro.simulation.results import QueryTrace, RunResult, TimePoint
 from repro.workload.stream import GrowingDatabase
@@ -58,6 +70,18 @@ class SimulationConfig:
         }
         current.update(overrides)
         return SimulationConfig(**current)
+
+
+@dataclass
+class _RunContext:
+    """Everything one run (engine or legacy) operates on."""
+
+    edb: EncryptedDatabase
+    analyst: Analyst
+    owners: dict[str, Owner]
+    result: RunResult
+    queries: list[Query]
+    horizon: int
 
 
 class Simulation:
@@ -108,27 +132,84 @@ class Simulation:
             f"workload for table {table!r} is empty; pass its schema explicitly"
         )
 
-    # -- main entry point ---------------------------------------------------------
+    # -- main entry points --------------------------------------------------------
 
     def run(self) -> RunResult:
-        """Execute the simulation and return the aggregated result."""
+        """Execute the simulation on the event-driven engine.
+
+        Owners are woken only at logical arrivals and at their strategies'
+        :meth:`~repro.core.strategies.base.SyncStrategy.next_event` times;
+        every skipped tick is a strategy no-op, so the result is identical to
+        :meth:`run_legacy` at the same seed.
+        """
+        ctx = self._build()
+        truth = ctx.analyst.truth_source
+        engine = Engine(ctx.horizon)
+        for table, owner in ctx.owners.items():
+            engine.add_stream(
+                table,
+                deliver=self._make_deliver(table, owner, truth),
+                arrivals=self._workloads[table].arrivals(),
+                next_self_event=owner.strategy.next_event,
+            )
+        if self._config.query_interval:
+            engine.add_periodic(
+                self._config.query_interval,
+                lambda time: self._observe(time, ctx),
+            )
+        engine.run()
+        return self._finalize(ctx)
+
+    def run_legacy(self) -> RunResult:
+        """Execute the simulation with the original per-tick loop.
+
+        Kept as the reference implementation: it visits every owner at every
+        time unit and recomputes ground truth by rescanning the logical
+        tables.  The equivalence tests pin :meth:`run` against it.
+        """
+        ctx = self._build(incremental_truth=False)
+        clock = SimulationClock(
+            horizon=ctx.horizon, query_interval=self._config.query_interval
+        )
+        for time in clock.iter_ticks():
+            for table, owner in ctx.owners.items():
+                update = self._workloads[table].update_at(time)
+                owner.tick(time, update)
+            if clock.is_query_time():
+                self._observe(time, ctx)
+        return self._finalize(ctx)
+
+    # -- construction ---------------------------------------------------------------
+
+    def _build(self, incremental_truth: bool = True) -> _RunContext:
+        """Instantiate the EDB, owners and analyst shared by both run modes."""
         config = self._config
-        rng = np.random.default_rng(config.seed)
         edb = self._edb_factory()
-        analyst = Analyst(edb)
 
         horizon = config.horizon
         if horizon is None:
             horizon = max(w.horizon for w in self._workloads.values())
-        clock = SimulationClock(horizon=horizon, query_interval=config.query_interval)
 
+        runnable_queries = [q for q in self._queries if edb.supports(q)]
+        truth: IncrementalTruth | None = None
+        if incremental_truth:
+            truth = IncrementalTruth()
+            for query in runnable_queries:
+                if truth.can_maintain(query):
+                    truth.register(query)
+        analyst = Analyst(edb, truth_source=truth)
+
+        # One independent noise stream per table: SeedSequence children keep
+        # runs reproducible from one seed while adding or removing a table
+        # leaves every other table's noise untouched.
+        children = np.random.SeedSequence(config.seed).spawn(len(self._workloads))
         owners: dict[str, Owner] = {}
-        for table, workload in self._workloads.items():
+        for (table, workload), child in zip(self._workloads.items(), children):
             schema = self._schemas[table]
             strategy = make_strategy(
                 config.strategy,
                 dummy_factory=lambda t, s=schema: make_dummy_record(s, t),
-                rng=rng,
+                rng=np.random.default_rng(child),
                 epsilon=config.epsilon,
                 period=config.timer_period,
                 theta=config.theta,
@@ -136,6 +217,8 @@ class Simulation:
             )
             owner = Owner(schema=schema, strategy=strategy, edb=edb)
             owner.initialize(workload.initial)
+            if truth is not None:
+                truth.ingest(table, workload.initial)
             owners[table] = owner
 
         result = RunResult(
@@ -152,41 +235,46 @@ class Simulation:
                 "seed": config.seed,
             },
         )
-
-        runnable_queries = [q for q in self._queries if edb.supports(q)]
-
-        for time in clock.iter_ticks():
-            for table, owner in owners.items():
-                update = self._workloads[table].update_at(time)
-                owner.tick(time, update)
-            if clock.is_query_time():
-                self._observe(time, owners, analyst, runnable_queries, result)
-
-        # Always capture the final state even if the horizon is not a
-        # multiple of the query interval.
-        if not result.timeline or result.timeline[-1].time != horizon:
-            self._snapshot(horizon, owners, edb, result)
-
-        result.sync_count = sum(o.strategy.sync_count for o in owners.values())
-        result.total_update_volume = sum(
-            o.update_pattern.total_volume() for o in owners.values()
+        return _RunContext(
+            edb=edb,
+            analyst=analyst,
+            owners=owners,
+            result=result,
+            queries=runnable_queries,
+            horizon=horizon,
         )
-        return result
+
+    @staticmethod
+    def _make_deliver(table: str, owner: Owner, truth: IncrementalTruth | None):
+        def deliver(time, update):
+            owner.tick(time, update)
+            if update is not None and truth is not None:
+                truth.ingest_one(table, update)
+
+        return deliver
 
     # -- internals ------------------------------------------------------------------
 
-    def _observe(
-        self,
-        time: int,
-        owners: Mapping[str, Owner],
-        analyst: Analyst,
-        queries: Sequence[Query],
-        result: RunResult,
-    ) -> None:
-        logical_tables = {table: owner.logical_database for table, owner in owners.items()}
-        for query in queries:
-            observation = analyst.query(query, logical_tables, time=time)
-            result.add_query_trace(
+    def _finalize(self, ctx: _RunContext) -> RunResult:
+        """Final snapshot plus run-level totals (shared by both run modes)."""
+        result = ctx.result
+        # Always capture the final state even if the horizon is not a
+        # multiple of the query interval.
+        if not result.timeline or result.timeline[-1].time != ctx.horizon:
+            self._snapshot(ctx.horizon, ctx.owners, ctx.edb, result)
+        result.sync_count = sum(o.strategy.sync_count for o in ctx.owners.values())
+        result.total_update_volume = sum(
+            o.update_pattern.total_volume() for o in ctx.owners.values()
+        )
+        return result
+
+    def _observe(self, time: int, ctx: _RunContext) -> None:
+        logical_tables = lambda: {
+            table: owner.logical_database for table, owner in ctx.owners.items()
+        }
+        for query in ctx.queries:
+            observation = ctx.analyst.query(query, logical_tables, time=time)
+            ctx.result.add_query_trace(
                 QueryTrace(
                     time=time,
                     query_name=query.name,
@@ -194,8 +282,7 @@ class Simulation:
                     qet_seconds=observation.qet_seconds,
                 )
             )
-        edb = next(iter(owners.values())).edb
-        self._snapshot(time, owners, edb, result)
+        self._snapshot(time, ctx.owners, ctx.edb, ctx.result)
 
     @staticmethod
     def _snapshot(

@@ -102,6 +102,18 @@ class GrowingDatabase:
         for index, update in enumerate(self.updates):
             yield index + 1, update
 
+    def arrivals(self) -> Iterator[tuple[int, Record]]:
+        """Iterate only the non-empty updates as ``(t, u_t)`` pairs.
+
+        This is the feed the event-driven engine schedules on: on a sparse
+        stream it visits each arrival once instead of probing
+        :meth:`update_at` at every time unit.  Times are strictly
+        increasing.
+        """
+        for index, update in enumerate(self.updates):
+            if update is not None:
+                yield index + 1, update
+
     def truncated(self, horizon: int) -> "GrowingDatabase":
         """A copy limited to the first ``horizon`` time units."""
         if horizon < 0:

