@@ -12,6 +12,8 @@ Environment knobs (all optional):
 * ``REPRO_BENCH_QUERY_INTERVAL`` -- time units between query issuances
   (default 360, i.e. every six hours as in the paper).
 * ``REPRO_BENCH_SEED`` -- experiment seed (default 0).
+* ``REPRO_BENCH_WORKERS`` -- worker processes for the end-to-end grid cells
+  (default 1 = the serial path; per-cell results are identical either way).
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ BENCH_QUERY_INTERVAL = int(
     os.environ.get("REPRO_BENCH_QUERY_INTERVAL", str(DEFAULT_QUERY_INTERVAL))
 )
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 #: The paper's headline ratios (520x accuracy, 5.72x QET, 2.1x data, ...) only
 #: materialize on the full-size workload; down-scaled smoke runs check the
@@ -51,7 +54,7 @@ def end_to_end_results(backend: str) -> dict:
             query_interval=BENCH_QUERY_INTERVAL,
             seed=BENCH_SEED,
         )
-        _END_TO_END_CACHE[backend] = run_end_to_end(config)
+        _END_TO_END_CACHE[backend] = run_end_to_end(config, n_workers=BENCH_WORKERS)
     return _END_TO_END_CACHE[backend]
 
 
@@ -74,6 +77,7 @@ def bench_settings() -> dict:
         "scale": BENCH_SCALE,
         "query_interval": BENCH_QUERY_INTERVAL,
         "seed": BENCH_SEED,
+        "workers": BENCH_WORKERS,
     }
 
 

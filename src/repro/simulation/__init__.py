@@ -8,6 +8,10 @@
   evaluation queries on a fixed schedule;
 * :mod:`repro.simulation.experiment` -- the experiment configurations behind
   every table and figure of Section 8;
+* :mod:`repro.simulation.runner` -- the parallel experiment runner: scenario-
+  matrix grids (:class:`ExperimentGrid`), a process-pool
+  :class:`GridRunner` with deterministic per-cell seeds and JSON
+  checkpoint/resume, and :func:`run_cell` for single cells;
 * :mod:`repro.simulation.reporting` -- text renderers for the paper-style
   tables and figure series.
 """
@@ -27,6 +31,13 @@ from repro.simulation.experiment import (
     run_parameter_sweep,
     run_privacy_sweep,
 )
+from repro.simulation.runner import (
+    CellSpec,
+    ExperimentGrid,
+    GridResult,
+    GridRunner,
+    run_cell,
+)
 from repro.simulation.reporting import (
     format_figure_series,
     format_headline_claims,
@@ -36,12 +47,16 @@ from repro.simulation.reporting import (
 )
 
 __all__ = [
+    "CellSpec",
     "DEFAULT_EPSILON",
     "DEFAULT_FLUSH",
     "DEFAULT_QUERY_INTERVAL",
     "DEFAULT_THETA",
     "DEFAULT_TIMER_PERIOD",
     "EndToEndConfig",
+    "ExperimentGrid",
+    "GridResult",
+    "GridRunner",
     "QueryTrace",
     "RunResult",
     "Simulation",
@@ -49,6 +64,7 @@ __all__ = [
     "SimulationConfig",
     "TimePoint",
     "default_queries",
+    "run_cell",
     "format_figure_series",
     "format_headline_claims",
     "format_table2",

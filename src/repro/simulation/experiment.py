@@ -8,29 +8,42 @@ the June-2020 taxi workloads (43,200 time units).
 Every experiment accepts a ``scale`` parameter so tests and quick benchmark
 runs can use a down-scaled workload (same shape, smaller horizon); the
 benchmark harness defaults to the full-size workload.
+
+Since the parallel-runner refactor these drivers are thin wrappers that
+enumerate :class:`~repro.simulation.runner.CellSpec` cells and hand them to
+:class:`~repro.simulation.runner.GridRunner`: pass ``n_workers`` to run the
+cells of a figure concurrently and ``artifact_dir`` to checkpoint/resume
+them.  Cell seeds reproduce the historical serial loop exactly, so results
+are bit-identical to the pre-runner implementation (and to each other across
+worker counts).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
-
-import numpy as np
+from typing import Sequence
 
 from repro.core.strategies.flush import FlushPolicy
-from repro.edb.base import EncryptedDatabase
-from repro.edb.crypte import CryptEpsilon
-from repro.edb.oblidb import ObliDB
 from repro.query.ast import Query
-from repro.query.sql import parse_query
 from repro.simulation.results import RunResult
-from repro.simulation.simulator import Simulation, SimulationConfig
-from repro.workload.nyc_taxi import (
-    generate_green_taxi,
-    generate_yellow_cab,
-    JUNE_2020_MINUTES,
-    GREEN_TARGET_RECORDS,
-    YELLOW_TARGET_RECORDS,
+from repro.simulation.runner import (
+    DEFAULT_CRYPTE_QUERY_EPSILON,
+    DEFAULT_EPSILON,
+    DEFAULT_FLUSH,
+    DEFAULT_QUERY_INTERVAL,
+    DEFAULT_THETA,
+    DEFAULT_TIMER_PERIOD,
+    CellSpec,
+    GridRunner,
+    make_backend,
+    supported_backend_queries,
+)
+from repro.workload.scenarios import (
+    PAPER_Q1_SQL as Q1_SQL,
+    PAPER_Q2_SQL as Q2_SQL,
+    PAPER_Q3_SQL as Q3_SQL,
+    build_scenario,
+    taxi_queries,
 )
 from repro.workload.stream import GrowingDatabase
 
@@ -51,48 +64,13 @@ __all__ = [
     "run_parameter_sweep",
 ]
 
-DEFAULT_EPSILON: float = 0.5
-DEFAULT_TIMER_PERIOD: int = 30
-DEFAULT_THETA: int = 15
-DEFAULT_FLUSH: FlushPolicy = FlushPolicy(interval=2000, size=15)
-DEFAULT_QUERY_INTERVAL: int = 360
-DEFAULT_CRYPTE_QUERY_EPSILON: float = 3.0
-
 #: Strategy names of the end-to-end comparison, in the paper's order.
 ALL_STRATEGIES: tuple[str, ...] = ("sur", "set", "oto", "dp-timer", "dp-ant")
-
-#: The paper's three test queries (Section 8, "Testing query").
-Q1_SQL = "SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 50 AND 100"
-Q2_SQL = "SELECT pickupID, COUNT(*) AS PickupCnt FROM YellowCab GROUP BY pickupID"
-Q3_SQL = (
-    "SELECT COUNT(*) FROM YellowCab INNER JOIN GreenTaxi "
-    "ON YellowCab.pickTime = GreenTaxi.pickTime"
-)
 
 
 def default_queries() -> list[Query]:
     """Q1 (range count), Q2 (group-by count), Q3 (join count)."""
-    return [
-        parse_query(Q1_SQL, label="Q1"),
-        parse_query(Q2_SQL, label="Q2"),
-        parse_query(Q3_SQL, label="Q3"),
-    ]
-
-
-def make_backend(
-    name: str,
-    seed: int = 0,
-    crypte_query_epsilon: float = DEFAULT_CRYPTE_QUERY_EPSILON,
-) -> Callable[[], EncryptedDatabase]:
-    """A factory for one of the two evaluated back-ends (``"oblidb"`` / ``"crypte"``)."""
-    key = name.lower()
-    if key in ("oblidb", "obli-db", "l0"):
-        return lambda: ObliDB(rng=np.random.default_rng(seed + 1))
-    if key in ("crypte", "crypt-epsilon", "crypteps", "ldp"):
-        return lambda: CryptEpsilon(
-            query_epsilon=crypte_query_epsilon, rng=np.random.default_rng(seed + 2)
-        )
-    raise KeyError(f"unknown back-end {name!r}; expected 'oblidb' or 'crypte'")
+    return taxi_queries()
 
 
 def taxi_workloads(
@@ -106,24 +84,14 @@ def taxi_workloads(
     Yellow Cab and 21,300 Green Boro records).  Smaller scales shrink both
     the horizon and the record counts proportionally while keeping the
     diurnal shape, so the accuracy/performance trade-offs keep their shape.
+
+    This is the ``taxi-june`` / ``taxi-yellow`` scenario of the registry
+    (:mod:`repro.workload.scenarios`).
     """
     if not 0.0 < scale <= 1.0:
         raise ValueError("scale must be in (0, 1]")
-    horizon = max(60, int(JUNE_2020_MINUTES * scale))
-    yellow = generate_yellow_cab(
-        rng=np.random.default_rng(seed),
-        horizon=horizon,
-        target_records=min(horizon, max(10, int(YELLOW_TARGET_RECORDS * scale))),
-    )
-    workloads: dict[str, GrowingDatabase] = {yellow.table: yellow}
-    if include_green:
-        green = generate_green_taxi(
-            rng=np.random.default_rng(seed + 1),
-            horizon=horizon,
-            target_records=min(horizon, max(10, int(GREEN_TARGET_RECORDS * scale))),
-        )
-        workloads[green.table] = green
-    return workloads
+    name = "taxi-june" if include_green else "taxi-yellow"
+    return build_scenario(name, seed=seed, scale=scale)
 
 
 @dataclass(frozen=True)
@@ -142,42 +110,49 @@ class EndToEndConfig:
 
     def queries_for_backend(self) -> list[Query]:
         """Q1/Q2/Q3 for ObliDB; Crypt-epsilon does not support joins (Q3)."""
-        queries = default_queries()
-        if self.backend.startswith("crypt"):
-            return [q for q in queries if q.name != "Q3"]
-        return queries
+        return supported_backend_queries(self.backend, default_queries())
+
+    def cells(self) -> list[CellSpec]:
+        """One grid cell per strategy, with the historical seed layout."""
+        include_green = not self.backend.startswith("crypt")
+        return [
+            CellSpec(
+                strategy=strategy,
+                backend=self.backend,
+                scenario="taxi-june" if include_green else "taxi-yellow",
+                scale=self.scale,
+                epsilon=self.epsilon,
+                timer_period=self.timer_period,
+                theta=self.theta,
+                flush_interval=self.flush.interval,
+                flush_size=self.flush.size,
+                flush_enabled=self.flush.enabled,
+                query_interval=self.query_interval,
+                sim_seed=self.seed * 1000 + index,
+                backend_seed=self.seed,
+                workload_seed=2020 + self.seed,
+            )
+            for index, strategy in enumerate(self.strategies)
+        ]
 
 
-def run_end_to_end(config: EndToEndConfig | None = None) -> dict[str, RunResult]:
+def run_end_to_end(
+    config: EndToEndConfig | None = None,
+    n_workers: int | None = None,
+    artifact_dir: str | None = None,
+) -> dict[str, RunResult]:
     """Run the end-to-end comparison (Table 5, Figures 2-4) for one back-end.
 
-    Returns a mapping ``strategy name -> RunResult``.
+    Returns a mapping ``strategy name -> RunResult``.  ``n_workers`` runs the
+    per-strategy cells on a process pool; ``artifact_dir`` checkpoints each
+    completed cell and resumes from it on re-runs.
     """
     config = config or EndToEndConfig()
-    include_green = not config.backend.startswith("crypt")
-    workloads = taxi_workloads(
-        scale=config.scale, include_green=include_green, seed=2020 + config.seed
-    )
-    queries = config.queries_for_backend()
-    results: dict[str, RunResult] = {}
-    for index, strategy in enumerate(config.strategies):
-        sim_config = SimulationConfig(
-            strategy=strategy,
-            epsilon=config.epsilon,
-            timer_period=config.timer_period,
-            theta=config.theta,
-            flush=config.flush,
-            query_interval=config.query_interval,
-            seed=config.seed * 1000 + index,
-        )
-        simulation = Simulation(
-            edb_factory=make_backend(config.backend, seed=config.seed),
-            workloads=workloads,
-            queries=queries,
-            config=sim_config,
-        )
-        results[strategy] = simulation.run()
-    return results
+    cells = config.cells()
+    outcome = GridRunner(n_workers=n_workers, artifact_dir=artifact_dir).run(cells)
+    return {
+        spec.strategy: outcome[spec.cell_id] for spec in cells
+    }
 
 
 def run_privacy_sweep(
@@ -187,33 +162,41 @@ def run_privacy_sweep(
     scale: float = 1.0,
     query_interval: int = DEFAULT_QUERY_INTERVAL,
     seed: int = 0,
+    n_workers: int | None = None,
+    artifact_dir: str | None = None,
 ) -> dict[str, dict[float, RunResult]]:
     """Figure 5: accuracy/performance of the DP strategies as epsilon varies.
 
     The default query is Q2 on the ObliDB back-end, as in the paper.
     Returns ``{strategy: {epsilon: RunResult}}``.
     """
-    workloads = taxi_workloads(scale=scale, include_green=False, seed=2020 + seed)
-    query = [q for q in default_queries() if q.name == "Q2"]
-    results: dict[str, dict[float, RunResult]] = {s: {} for s in strategies}
+    cells: list[tuple[str, float, CellSpec]] = []
     for strategy in strategies:
         for index, epsilon in enumerate(epsilons):
-            sim_config = SimulationConfig(
-                strategy=strategy,
-                epsilon=epsilon,
-                timer_period=DEFAULT_TIMER_PERIOD,
-                theta=DEFAULT_THETA,
-                flush=DEFAULT_FLUSH,
-                query_interval=query_interval,
-                seed=seed * 1000 + index,
+            cells.append(
+                (
+                    strategy,
+                    epsilon,
+                    CellSpec(
+                        strategy=strategy,
+                        backend=backend,
+                        scenario="taxi-yellow",
+                        scale=scale,
+                        epsilon=epsilon,
+                        query_interval=query_interval,
+                        queries=("Q2",),
+                        sim_seed=seed * 1000 + index,
+                        backend_seed=seed,
+                        workload_seed=2020 + seed,
+                    ),
+                )
             )
-            simulation = Simulation(
-                edb_factory=make_backend(backend, seed=seed),
-                workloads=workloads,
-                queries=query,
-                config=sim_config,
-            )
-            results[strategy][epsilon] = simulation.run()
+    outcome = GridRunner(n_workers=n_workers, artifact_dir=artifact_dir).run(
+        [spec for _, _, spec in cells]
+    )
+    results: dict[str, dict[float, RunResult]] = {s: {} for s in strategies}
+    for strategy, epsilon, spec in cells:
+        results[strategy][epsilon] = outcome[spec.cell_id]
     return results
 
 
@@ -225,6 +208,8 @@ def run_parameter_sweep(
     scale: float = 1.0,
     query_interval: int = DEFAULT_QUERY_INTERVAL,
     seed: int = 0,
+    n_workers: int | None = None,
+    artifact_dir: str | None = None,
 ) -> dict[int, RunResult]:
     """Figure 6: sweep the non-privacy parameter (T or theta) at fixed epsilon.
 
@@ -233,24 +218,28 @@ def run_parameter_sweep(
     """
     if strategy not in ("dp-timer", "dp-ant"):
         raise ValueError("parameter sweeps apply to 'dp-timer' or 'dp-ant' only")
-    workloads = taxi_workloads(scale=scale, include_green=False, seed=2020 + seed)
-    query = [q for q in default_queries() if q.name == "Q2"]
-    results: dict[int, RunResult] = {}
+    cells: list[tuple[int, CellSpec]] = []
     for index, value in enumerate(values):
-        sim_config = SimulationConfig(
-            strategy=strategy,
-            epsilon=epsilon,
-            timer_period=value if strategy == "dp-timer" else DEFAULT_TIMER_PERIOD,
-            theta=value if strategy == "dp-ant" else DEFAULT_THETA,
-            flush=DEFAULT_FLUSH,
-            query_interval=query_interval,
-            seed=seed * 1000 + index,
+        cells.append(
+            (
+                value,
+                CellSpec(
+                    strategy=strategy,
+                    backend=backend,
+                    scenario="taxi-yellow",
+                    scale=scale,
+                    epsilon=epsilon,
+                    timer_period=value if strategy == "dp-timer" else DEFAULT_TIMER_PERIOD,
+                    theta=value if strategy == "dp-ant" else DEFAULT_THETA,
+                    query_interval=query_interval,
+                    queries=("Q2",),
+                    sim_seed=seed * 1000 + index,
+                    backend_seed=seed,
+                    workload_seed=2020 + seed,
+                ),
+            )
         )
-        simulation = Simulation(
-            edb_factory=make_backend(backend, seed=seed),
-            workloads=workloads,
-            queries=query,
-            config=sim_config,
-        )
-        results[value] = simulation.run()
-    return results
+    outcome = GridRunner(n_workers=n_workers, artifact_dir=artifact_dir).run(
+        [spec for _, spec in cells]
+    )
+    return {value: outcome[spec.cell_id] for value, spec in cells}

@@ -15,7 +15,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
 __all__ = ["QueryTrace", "TimePoint", "RunResult"]
+
+
+def _plain_number(value):
+    """Coerce numpy scalars to built-in numbers; pass everything else through."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -144,6 +155,61 @@ class RunResult:
         """``(time, total Mb, dummy Mb)`` series (Figure 3)."""
         return tuple(
             (p.time, p.storage_bytes / 1e6, p.dummy_bytes / 1e6) for p in self.timeline
+        )
+
+    # -- serialization --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready representation that round-trips through :meth:`from_dict`.
+
+        Every numeric field is coerced to a plain Python ``int``/``float`` so
+        the representation is stable regardless of whether the run produced
+        numpy scalars; JSON's ``repr``-based float encoding preserves the
+        exact bit pattern, which the golden-trace tests and the runner's
+        checkpoint/resume rely on.
+        """
+        return {
+            "strategy": self.strategy,
+            "backend": self.backend,
+            "epsilon": float(self.epsilon),
+            "parameters": {k: _plain_number(v) for k, v in self.parameters.items()},
+            "query_traces": [
+                {
+                    "time": int(t.time),
+                    "query_name": t.query_name,
+                    "l1_error": float(t.l1_error),
+                    "qet_seconds": float(t.qet_seconds),
+                }
+                for t in self.query_traces
+            ],
+            "timeline": [
+                {
+                    "time": int(p.time),
+                    "outsourced_records": int(p.outsourced_records),
+                    "dummy_records": int(p.dummy_records),
+                    "storage_bytes": float(p.storage_bytes),
+                    "dummy_bytes": float(p.dummy_bytes),
+                    "logical_gap": int(p.logical_gap),
+                    "logical_size": int(p.logical_size),
+                }
+                for p in self.timeline
+            ],
+            "sync_count": int(self.sync_count),
+            "total_update_volume": int(self.total_update_volume),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunResult":
+        """Rebuild a :class:`RunResult` produced by :meth:`to_dict`."""
+        return cls(
+            strategy=payload["strategy"],
+            backend=payload["backend"],
+            epsilon=payload["epsilon"],
+            parameters=dict(payload.get("parameters", {})),
+            query_traces=[QueryTrace(**t) for t in payload.get("query_traces", [])],
+            timeline=[TimePoint(**p) for p in payload.get("timeline", [])],
+            sync_count=payload.get("sync_count", 0),
+            total_update_volume=payload.get("total_update_volume", 0),
         )
 
     # -- comparisons across runs ---------------------------------------------------------

@@ -1,0 +1,738 @@
+"""Parallel experiment orchestration: scenario-matrix grids of simulation cells.
+
+The paper's whole Section 8 evaluation is a grid -- {strategies} x {back-ends}
+x {parameter sweeps} x {workloads} -- and before this module every cell ran
+serially inside one process.  This module turns one figure-replication into a
+declarative object and a scheduler:
+
+* :class:`CellSpec` -- a self-contained, JSON-serializable description of one
+  grid cell (strategy, back-end, scenario name, parameters, seeds).  Cells
+  reference workloads through the scenario registry
+  (:mod:`repro.workload.scenarios`), so they stay cheap to pickle into worker
+  processes.
+* :class:`ExperimentGrid` -- declarative cell enumeration over the
+  strategy x backend x scenario x parameter axes, with deterministic per-cell
+  seeds derived via ``np.random.SeedSequence.spawn``: the seed of a cell
+  depends only on the grid's ``base_seed`` and the cell's position, never on
+  the worker count or completion order.
+* :func:`run_cell` -- executes one cell (this is the function worker
+  processes run); per-process scenario caching avoids rebuilding the same
+  workload for every cell that shares it.
+* :class:`GridRunner` -- runs the cells serially (``n_workers <= 1``) or on a
+  process pool, checkpoints each completed cell as a JSON artifact under an
+  artifact directory (so an interrupted figure-scale sweep resumes instead of
+  restarting), and reports progress/ETA as cells complete.
+
+Per-cell results are **bit-identical across worker counts**: every source of
+randomness in a cell is derived from the cell's own recorded seeds (see
+``tests/test_simulation_runner.py``), and the checkpoint JSON round-trips
+results exactly (``RunResult.to_dict``/``from_dict``).
+
+A tiny CLI is included for smoke runs::
+
+    python -m repro.simulation.runner --strategies dp-timer,dp-ant \\
+        --scenario sparse --scale 0.2 --workers 2 --artifact-dir /tmp/grid
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import multiprocessing
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, fields, replace
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.strategies.flush import FlushPolicy
+from repro.edb.base import EncryptedDatabase
+from repro.edb.crypte import CryptEpsilon
+from repro.edb.oblidb import ObliDB
+from repro.query.ast import JoinCountQuery, Query
+from repro.simulation.results import RunResult
+from repro.simulation.simulator import Simulation, SimulationConfig
+from repro.workload.scenarios import build_scenario, scenario_queries
+
+__all__ = [
+    "DEFAULT_EPSILON",
+    "DEFAULT_TIMER_PERIOD",
+    "DEFAULT_THETA",
+    "DEFAULT_FLUSH",
+    "DEFAULT_QUERY_INTERVAL",
+    "DEFAULT_CRYPTE_QUERY_EPSILON",
+    "CellSpec",
+    "ExperimentGrid",
+    "GridResult",
+    "GridRunner",
+    "make_backend",
+    "run_cell",
+    "supported_backend_queries",
+]
+
+DEFAULT_EPSILON: float = 0.5
+DEFAULT_TIMER_PERIOD: int = 30
+DEFAULT_THETA: int = 15
+DEFAULT_FLUSH: FlushPolicy = FlushPolicy(interval=2000, size=15)
+DEFAULT_QUERY_INTERVAL: int = 360
+DEFAULT_CRYPTE_QUERY_EPSILON: float = 3.0
+
+
+def make_backend(
+    name: str,
+    seed: int = 0,
+    crypte_query_epsilon: float = DEFAULT_CRYPTE_QUERY_EPSILON,
+) -> Callable[[], EncryptedDatabase]:
+    """A factory for one of the two evaluated back-ends (``"oblidb"`` / ``"crypte"``)."""
+    key = name.lower()
+    if key in ("oblidb", "obli-db", "l0"):
+        return lambda: ObliDB(rng=np.random.default_rng(seed + 1))
+    if key in ("crypte", "crypt-epsilon", "crypteps", "ldp"):
+        return lambda: CryptEpsilon(
+            query_epsilon=crypte_query_epsilon, rng=np.random.default_rng(seed + 2)
+        )
+    raise KeyError(f"unknown back-end {name!r}; expected 'oblidb' or 'crypte'")
+
+
+# ---------------------------------------------------------------------------
+# Cell specification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of an experiment grid.
+
+    Every field is a plain JSON value, so a cell can be pickled into a worker
+    process, fingerprinted for checkpointing, and rebuilt from an artifact.
+    ``queries`` optionally restricts the scenario's evaluation queries to the
+    named subset (e.g. ``("Q2",)`` for the paper's sweeps); ``None`` keeps
+    every query the back-end supports.
+    """
+
+    strategy: str
+    backend: str = "oblidb"
+    scenario: str = "taxi-yellow"
+    scale: float = 1.0
+    epsilon: float = DEFAULT_EPSILON
+    timer_period: int = DEFAULT_TIMER_PERIOD
+    theta: int = DEFAULT_THETA
+    flush_interval: int = DEFAULT_FLUSH.interval
+    flush_size: int = DEFAULT_FLUSH.size
+    flush_enabled: bool = True
+    query_interval: int = DEFAULT_QUERY_INTERVAL
+    horizon: int | None = None
+    queries: tuple[str, ...] | None = None
+    sim_seed: int = 0
+    backend_seed: int = 0
+    workload_seed: int = 2020
+    crypte_query_epsilon: float = DEFAULT_CRYPTE_QUERY_EPSILON
+    scenario_kwargs: tuple[tuple[str, float], ...] = ()
+    cell_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.queries is not None:
+            object.__setattr__(self, "queries", tuple(self.queries))
+        object.__setattr__(
+            self, "scenario_kwargs", tuple((k, v) for k, v in self.scenario_kwargs)
+        )
+        if not self.cell_id:
+            object.__setattr__(self, "cell_id", self._default_cell_id())
+
+    def _default_cell_id(self) -> str:
+        parts = [
+            self.strategy,
+            self.backend,
+            self.scenario,
+            f"eps={self.epsilon:g}",
+            f"T={self.timer_period}",
+            f"th={self.theta}",
+            f"qi={self.query_interval}",
+            f"scale={self.scale:g}",
+            f"seed={self.sim_seed}",
+        ]
+        parts.extend(f"{k}={v!r}" for k, v in self.scenario_kwargs)
+        # The readable prefix does not cover every field (flush, horizon,
+        # query subset, backend/workload seeds, ...); the content hash does,
+        # so cells differing only in an unlisted field never collide.
+        return "/".join(parts) + f"#{self.fingerprint()[:8]}"
+
+    def flush_policy(self) -> FlushPolicy:
+        """The cell's flush policy object."""
+        if not self.flush_enabled or self.flush_size == 0:
+            return FlushPolicy.disabled()
+        return FlushPolicy(interval=self.flush_interval, size=self.flush_size)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (round-trips through :meth:`from_dict`)."""
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["queries"] = list(self.queries) if self.queries is not None else None
+        payload["scenario_kwargs"] = [list(pair) for pair in self.scenario_kwargs]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CellSpec":
+        """Rebuild a spec produced by :meth:`to_dict`."""
+        data = dict(payload)
+        if data.get("queries") is not None:
+            data["queries"] = tuple(data["queries"])
+        data["scenario_kwargs"] = tuple(
+            (k, v) for k, v in data.get("scenario_kwargs", ())
+        )
+        return cls(**data)
+
+    def fingerprint(self) -> str:
+        """Stable content hash used to validate checkpoint artifacts.
+
+        Covers every field except ``cell_id`` (which may itself embed the
+        fingerprint): two specs with equal content always share a
+        fingerprint, regardless of how they were labelled.
+        """
+        payload = self.to_dict()
+        payload.pop("cell_id")
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Cell execution (this is what worker processes run)
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=8)
+def _cached_workloads(scenario: str, seed: int, scale: float, kwargs_items: tuple):
+    """Per-process scenario cache: cells sharing a workload build it once.
+
+    Safe to share because :class:`Simulation` only reads the update streams.
+    """
+    return build_scenario(scenario, seed=seed, scale=scale, **dict(kwargs_items))
+
+
+def supported_backend_queries(backend: str, queries: Sequence[Query]) -> list[Query]:
+    """Drop query shapes a back-end cannot run (joins on Crypt-epsilon).
+
+    The single source of the backend/query compatibility rule: both the grid
+    runner and ``EndToEndConfig.queries_for_backend`` delegate here (the
+    Simulation would skip unsupported queries at run time anyway; filtering
+    up front keeps the declared query set honest).
+    """
+    if backend.startswith("crypt"):
+        return [q for q in queries if not isinstance(q, JoinCountQuery)]
+    return list(queries)
+
+
+def _queries_for(spec: CellSpec) -> list[Query]:
+    queries = scenario_queries(spec.scenario)
+    if spec.queries is not None:
+        wanted = set(spec.queries)
+        queries = [q for q in queries if q.name in wanted]
+    return supported_backend_queries(spec.backend, queries)
+
+
+def run_cell(spec: CellSpec) -> RunResult:
+    """Execute one grid cell and return its :class:`RunResult`.
+
+    All randomness derives from the seeds recorded on the spec, so the result
+    is identical no matter which process (or machine) runs the cell.
+    """
+    workloads = _cached_workloads(
+        spec.scenario, spec.workload_seed, spec.scale, spec.scenario_kwargs
+    )
+    config = SimulationConfig(
+        strategy=spec.strategy,
+        epsilon=spec.epsilon,
+        timer_period=spec.timer_period,
+        theta=spec.theta,
+        flush=spec.flush_policy(),
+        query_interval=spec.query_interval,
+        horizon=spec.horizon,
+        seed=spec.sim_seed,
+    )
+    simulation = Simulation(
+        edb_factory=make_backend(
+            spec.backend,
+            seed=spec.backend_seed,
+            crypte_query_epsilon=spec.crypte_query_epsilon,
+        ),
+        workloads=workloads,
+        queries=_queries_for(spec),
+        config=config,
+    )
+    return simulation.run()
+
+
+def _run_cell_timed(spec: CellSpec) -> tuple[RunResult, float]:
+    start = time.perf_counter()
+    result = run_cell(spec)
+    return result, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# Grid enumeration
+# ---------------------------------------------------------------------------
+
+#: CellSpec fields that may be used as grid parameter axes.
+_AXIS_FIELDS = frozenset(
+    {
+        "epsilon",
+        "timer_period",
+        "theta",
+        "flush_interval",
+        "flush_size",
+        "query_interval",
+        "scale",
+        "horizon",
+        "crypte_query_epsilon",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """Declarative enumeration of grid cells over four kinds of axes.
+
+    ``strategies`` x ``backends`` x ``scenarios`` are the categorical axes;
+    ``parameters`` maps :class:`CellSpec` field names (epsilon, timer_period,
+    theta, query_interval, scale, ...) to value sequences and contributes one
+    axis per entry (sorted by name for a stable cell order).  ``base``
+    provides every non-swept field.
+
+    Each cell receives its own ``SeedSequence`` child spawned from
+    ``base_seed``; the child's first three words become the cell's simulation
+    / backend / workload seeds.  Seeds therefore depend only on the grid
+    definition and the cell's index -- not on scheduling.
+    """
+
+    strategies: tuple[str, ...]
+    backends: tuple[str, ...] = ("oblidb",)
+    scenarios: tuple[str, ...] = ("taxi-yellow",)
+    parameters: Mapping[str, Sequence] = field(default_factory=dict)
+    base: CellSpec = field(default_factory=lambda: CellSpec(strategy="dp-timer"))
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "strategies", tuple(self.strategies))
+        object.__setattr__(self, "backends", tuple(self.backends))
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "parameters", dict(self.parameters))
+        unknown = set(self.parameters) - _AXIS_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown parameter axes {sorted(unknown)}; "
+                f"allowed: {sorted(_AXIS_FIELDS)}"
+            )
+        if not self.strategies:
+            raise ValueError("grid needs at least one strategy")
+
+    def __len__(self) -> int:
+        n = len(self.strategies) * len(self.backends) * len(self.scenarios)
+        for values in self.parameters.values():
+            n *= len(values)
+        return n
+
+    def cells(self) -> list[CellSpec]:
+        """Enumerate the grid as fully-seeded :class:`CellSpec` objects."""
+        param_names = sorted(self.parameters)
+        param_axes = [self.parameters[name] for name in param_names]
+        combos = list(
+            itertools.product(
+                self.strategies, self.backends, self.scenarios, *param_axes
+            )
+        )
+        children = np.random.SeedSequence(self.base_seed).spawn(len(combos))
+        cells: list[CellSpec] = []
+        for (strategy, backend, scenario, *values), child in zip(combos, children):
+            sim_seed, backend_seed, workload_seed = (
+                int(word) for word in child.generate_state(3, dtype=np.uint32)
+            )
+            overrides = dict(zip(param_names, values))
+            id_parts = [strategy, backend, scenario] + [
+                f"{name}={value:g}" if isinstance(value, float) else f"{name}={value}"
+                for name, value in zip(param_names, values)
+            ]
+            cells.append(
+                replace(
+                    self.base,
+                    strategy=strategy,
+                    backend=backend,
+                    scenario=scenario,
+                    sim_seed=sim_seed,
+                    backend_seed=backend_seed,
+                    workload_seed=workload_seed,
+                    cell_id="/".join(id_parts),
+                    **overrides,
+                )
+            )
+        return cells
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GridResult:
+    """Outcome of one :meth:`GridRunner.run` call.
+
+    ``results`` preserves cell-enumeration order.  ``resumed`` lists the
+    cell ids whose results were loaded from checkpoint artifacts instead of
+    being recomputed.
+    """
+
+    results: dict[str, RunResult]
+    elapsed_seconds: float
+    resumed: tuple[str, ...] = ()
+    cell_seconds: dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, cell_id: str) -> RunResult:
+        return self.results[cell_id]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def executed(self) -> tuple[str, ...]:
+        """Cell ids that were actually computed this run."""
+        resumed = set(self.resumed)
+        return tuple(cid for cid in self.results if cid not in resumed)
+
+
+@dataclass
+class _ComputeProgress:
+    """ETA bookkeeping over the cells that actually need computing.
+
+    Resumed cells are excluded: they load in microseconds, and averaging them
+    into the per-cell rate would make the ETA claim an almost-finished sweep
+    while all the compute still lies ahead.
+    """
+
+    pending_total: int
+    done_offset: int
+    computed: int = 0
+    started: float = field(default_factory=time.perf_counter)
+
+    def advance(self) -> tuple[int, float]:
+        """Mark one computed cell; return (overall done count, eta seconds)."""
+        self.computed += 1
+        elapsed = time.perf_counter() - self.started
+        eta = (elapsed / self.computed) * (self.pending_total - self.computed)
+        return self.done_offset + self.computed, eta
+
+
+class GridRunner:
+    """Run grid cells serially or on a process pool, with checkpoint/resume.
+
+    Parameters
+    ----------
+    n_workers:
+        ``None`` or ``<= 1`` runs every cell in-process (the serial path);
+        ``>= 2`` uses a ``ProcessPoolExecutor`` with that many workers.
+        Results are bit-identical either way.
+    artifact_dir:
+        When given, each completed cell is written to
+        ``<artifact_dir>/cells/<id>-<fingerprint>.json`` (atomically) and a
+        ``manifest.json`` describes the grid.  A later run over the same
+        cells loads matching artifacts instead of recomputing -- cells whose
+        spec changed (different fingerprint) are re-run and overwritten.
+    progress:
+        ``True`` prints per-cell completion lines with elapsed time and a
+        simple remaining-cells ETA to stderr; a callable receives the same
+        information as a dict (keys ``done``, ``total``, ``cell_id``,
+        ``cell_seconds``, ``elapsed_seconds``, ``eta_seconds``, ``resumed``).
+    """
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        artifact_dir: str | os.PathLike | None = None,
+        progress: bool | Callable[[dict], None] = False,
+    ) -> None:
+        self._n_workers = n_workers
+        self._artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
+        self._progress = progress
+
+    # -- artifact layout ------------------------------------------------------
+
+    def _cell_path(self, spec: CellSpec) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_=." else "_" for c in spec.cell_id)
+        return self._artifact_dir / "cells" / f"{safe[:80]}-{spec.fingerprint()}.json"
+
+    def _load_checkpoint(self, spec: CellSpec) -> tuple[RunResult, float] | None:
+        if self._artifact_dir is None:
+            return None
+        path = self._cell_path(spec)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("fingerprint") != spec.fingerprint():
+            return None
+        return (
+            RunResult.from_dict(payload["result"]),
+            float(payload.get("elapsed_seconds", 0.0)),
+        )
+
+    def _save_checkpoint(self, spec: CellSpec, result: RunResult, seconds: float) -> None:
+        if self._artifact_dir is None:
+            return
+        path = self._cell_path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "fingerprint": spec.fingerprint(),
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+            "elapsed_seconds": round(seconds, 4),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=1) + "\n")
+        os.replace(tmp, path)
+
+    def _write_manifest(self, cells: Sequence[CellSpec]) -> None:
+        if self._artifact_dir is None:
+            return
+        self._artifact_dir.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "version": 1,
+            "n_cells": len(cells),
+            "cells": [
+                {"cell_id": spec.cell_id, "fingerprint": spec.fingerprint()}
+                for spec in cells
+            ],
+        }
+        tmp = self._artifact_dir / "manifest.tmp"
+        tmp.write_text(json.dumps(manifest, indent=1) + "\n")
+        os.replace(tmp, self._artifact_dir / "manifest.json")
+
+    # -- progress -------------------------------------------------------------
+
+    def _report(
+        self,
+        done: int,
+        total: int,
+        spec: CellSpec,
+        cell_seconds: float,
+        started: float,
+        resumed: bool,
+        eta: float = 0.0,
+    ) -> None:
+        if not self._progress:
+            return
+        elapsed = time.perf_counter() - started
+        event = {
+            "done": done,
+            "total": total,
+            "cell_id": spec.cell_id,
+            "cell_seconds": round(cell_seconds, 3),
+            "elapsed_seconds": round(elapsed, 3),
+            "eta_seconds": round(eta, 3),
+            "resumed": resumed,
+        }
+        if callable(self._progress):
+            self._progress(event)
+            return
+        tag = "resumed" if resumed else f"{cell_seconds:6.2f}s"
+        print(
+            f"[{done}/{total}] {spec.cell_id}: {tag}"
+            f" | elapsed {elapsed:6.1f}s | eta {eta:6.1f}s",
+            file=sys.stderr,
+        )
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, grid: ExperimentGrid | Sequence[CellSpec]) -> GridResult:
+        """Execute (or resume) every cell and return results in cell order."""
+        cells = list(grid.cells()) if isinstance(grid, ExperimentGrid) else list(grid)
+        seen: set[str] = set()
+        for spec in cells:
+            if spec.cell_id in seen:
+                raise ValueError(f"duplicate cell id {spec.cell_id!r}")
+            seen.add(spec.cell_id)
+
+        started = time.perf_counter()
+        self._write_manifest(cells)
+
+        results: dict[str, RunResult] = {}
+        cell_seconds: dict[str, float] = {}
+        resumed: list[str] = []
+        pending: list[CellSpec] = []
+        for spec in cells:
+            checkpoint = self._load_checkpoint(spec)
+            if checkpoint is not None:
+                results[spec.cell_id] = checkpoint[0]
+                cell_seconds[spec.cell_id] = checkpoint[1]
+                resumed.append(spec.cell_id)
+            else:
+                pending.append(spec)
+
+        done = len(resumed)
+        total = len(cells)
+        if resumed and self._progress:
+            resumed_set = set(resumed)
+            index = 0
+            for spec in cells:
+                if spec.cell_id in resumed_set:
+                    index += 1
+                    self._report(
+                        index,
+                        total,
+                        spec,
+                        cell_seconds[spec.cell_id],
+                        started,
+                        resumed=True,
+                    )
+
+        # ETA is based on *computed* cells only: resumed cells load in
+        # microseconds and would otherwise make the estimate claim a nearly
+        # finished sweep while all the compute still lies ahead.
+        progress = _ComputeProgress(pending_total=len(pending), done_offset=done)
+        workers = self._effective_workers(len(pending))
+        if workers <= 1:
+            for spec in pending:
+                result, seconds = _run_cell_timed(spec)
+                self._record(spec, result, seconds, results, cell_seconds)
+                done, eta = progress.advance()
+                self._report(done, total, spec, seconds, started, resumed=False, eta=eta)
+        else:
+            done = self._run_pool(
+                pending, workers, results, cell_seconds, progress, total, started
+            )
+
+        ordered = {
+            spec.cell_id: results[spec.cell_id] for spec in cells
+        }
+        return GridResult(
+            results=ordered,
+            elapsed_seconds=time.perf_counter() - started,
+            resumed=tuple(resumed),
+            cell_seconds=cell_seconds,
+        )
+
+    def _record(
+        self,
+        spec: CellSpec,
+        result: RunResult,
+        seconds: float,
+        results: dict[str, RunResult],
+        cell_seconds: dict[str, float],
+    ) -> None:
+        results[spec.cell_id] = result
+        cell_seconds[spec.cell_id] = seconds
+        self._save_checkpoint(spec, result, seconds)
+
+    def _effective_workers(self, n_pending: int) -> int:
+        if self._n_workers is None:
+            return 1
+        return max(1, min(self._n_workers, n_pending))
+
+    def _run_pool(
+        self,
+        pending: Sequence[CellSpec],
+        workers: int,
+        results: dict[str, RunResult],
+        cell_seconds: dict[str, float],
+        progress: "_ComputeProgress",
+        total: int,
+        started: float,
+    ) -> int:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        executor = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        done = progress.done_offset
+        try:
+            future_to_spec = {
+                executor.submit(_run_cell_timed, spec): spec for spec in pending
+            }
+            remaining = set(future_to_spec)
+            # FIRST_COMPLETED keeps checkpoints and progress incremental: each
+            # cell is persisted as soon as it finishes, so an interrupted
+            # sweep resumes from everything already computed rather than
+            # losing the whole pool's work.
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    spec = future_to_spec[future]
+                    result, seconds = future.result()  # re-raises worker errors
+                    self._record(spec, result, seconds, results, cell_seconds)
+                    done, eta = progress.advance()
+                    self._report(
+                        done, total, spec, seconds, started, resumed=False, eta=eta
+                    )
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return done
+
+
+# ---------------------------------------------------------------------------
+# CLI smoke entry point
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Tiny CLI: run a small grid and print one summary line per cell."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.simulation.runner",
+        description="Run an experiment grid over the scenario registry.",
+    )
+    parser.add_argument(
+        "--strategies", default="dp-timer,dp-ant", help="comma-separated strategy names"
+    )
+    parser.add_argument("--backend", default="oblidb", choices=["oblidb", "crypte"])
+    parser.add_argument("--scenario", default="sparse", help="scenario registry name")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--epsilons", default="", help="optional epsilon axis, comma-separated")
+    parser.add_argument("--query-interval", type=int, default=500)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--artifact-dir", default=None)
+    args = parser.parse_args(argv)
+
+    parameters: dict[str, Sequence] = {
+        "scale": [args.scale],
+        "query_interval": [args.query_interval],
+    }
+    if args.epsilons:
+        parameters["epsilon"] = [float(e) for e in args.epsilons.split(",")]
+    grid = ExperimentGrid(
+        strategies=tuple(args.strategies.split(",")),
+        backends=(args.backend,),
+        scenarios=(args.scenario,),
+        parameters=parameters,
+        base_seed=args.seed,
+    )
+    runner = GridRunner(
+        n_workers=args.workers, artifact_dir=args.artifact_dir, progress=True
+    )
+    outcome = runner.run(grid)
+    for cell_id, result in outcome.results.items():
+        summary = result.summary()
+        print(
+            f"{cell_id}: syncs={result.sync_count}"
+            f" volume={result.total_update_volume}"
+            f" mean_gap={summary['mean_logical_gap']:.2f}"
+            f" total_mb={summary['total_data_mb']:.3f}"
+        )
+    print(
+        f"{len(outcome)} cells in {outcome.elapsed_seconds:.2f}s"
+        f" ({len(outcome.resumed)} resumed)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

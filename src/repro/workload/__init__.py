@@ -14,7 +14,10 @@ provides:
   sparsity, diurnal shape, pickup-zone distribution), plus the cleaning
   pipeline of Section 8;
 * :mod:`repro.workload.loader` -- a CSV loader for the real TLC exports, for
-  users who have downloaded them.
+  users who have downloaded them;
+* :mod:`repro.workload.scenarios` -- a registry of named, reusable traffic
+  scenarios (taxi, poisson, diurnal, bursty, sparse, heavy-traffic,
+  multi-table-skew) that experiment grids reference by name.
 """
 
 from repro.workload.stream import GrowingDatabase
@@ -33,18 +36,32 @@ from repro.workload.nyc_taxi import (
     generate_yellow_cab,
 )
 from repro.workload.loader import load_taxi_csv
+from repro.workload.scenarios import (
+    Scenario,
+    build_scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_queries,
+)
 
 __all__ = [
     "GREEN_SCHEMA",
     "GrowingDatabase",
+    "Scenario",
     "YELLOW_SCHEMA",
+    "build_scenario",
     "bursty_arrivals",
     "clean_taxi_rows",
     "diurnal_arrivals",
     "generate_green_taxi",
     "generate_yellow_cab",
+    "get_scenario",
+    "list_scenarios",
     "load_taxi_csv",
     "poisson_arrivals",
     "records_from_arrivals",
+    "register_scenario",
+    "scenario_queries",
     "sparse_arrivals",
 ]

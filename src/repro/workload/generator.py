@@ -1,7 +1,8 @@
 """Generic arrival-process generators.
 
 These produce boolean arrival indicators (one per time unit, at most one
-record per unit as in the paper's model) and attach record payloads to them.
+record per unit as in the paper's model) as ``np.ndarray``\\ s of ``bool``
+and attach record payloads to them.
 They are used by unit tests, property tests and the ablation benchmarks to
 exercise the strategies on workloads with different temporal shapes: steady
 Poisson traffic, day/night diurnal traffic (like the taxi data), bursty
@@ -29,13 +30,13 @@ __all__ = [
 ]
 
 
-def poisson_arrivals(horizon: int, rate: float, rng: np.random.Generator) -> list[bool]:
+def poisson_arrivals(horizon: int, rate: float, rng: np.random.Generator) -> np.ndarray:
     """Bernoulli-thinned Poisson arrivals: each unit carries a record w.p. ``rate``."""
     if horizon < 0:
         raise ValueError("horizon must be non-negative")
     if not 0.0 <= rate <= 1.0:
         raise ValueError("rate must be a probability in [0, 1]")
-    return list(rng.random(horizon) < rate)
+    return rng.random(horizon) < rate
 
 
 def diurnal_arrivals(
@@ -44,7 +45,7 @@ def diurnal_arrivals(
     peak_rate: float,
     period: int = 1440,
     rng: np.random.Generator | None = None,
-) -> list[bool]:
+) -> np.ndarray:
     """Day/night arrival pattern: the rate oscillates between base and peak.
 
     The instantaneous arrival probability follows a raised cosine with the
@@ -58,14 +59,11 @@ def diurnal_arrivals(
     if period <= 0:
         raise ValueError("period must be positive")
     rng = rng if rng is not None else np.random.default_rng()
-    arrivals = []
     amplitude = (peak_rate - base_rate) / 2.0
     midpoint = (peak_rate + base_rate) / 2.0
-    for t in range(horizon):
-        phase = 2.0 * math.pi * (t % period) / period
-        rate = midpoint - amplitude * math.cos(phase)
-        arrivals.append(bool(rng.random() < rate))
-    return arrivals
+    phase = 2.0 * math.pi * (np.arange(horizon) % period) / period
+    rates = midpoint - amplitude * np.cos(phase)
+    return rng.random(horizon) < rates
 
 
 def bursty_arrivals(
@@ -73,7 +71,7 @@ def bursty_arrivals(
     burst_probability: float,
     burst_length: int,
     rng: np.random.Generator,
-) -> list[bool]:
+) -> np.ndarray:
     """Bursty arrivals: idle periods interleaved with solid bursts of records."""
     if horizon < 0:
         raise ValueError("horizon must be non-negative")
@@ -81,33 +79,31 @@ def bursty_arrivals(
         raise ValueError("burst_probability must be in [0, 1]")
     if burst_length <= 0:
         raise ValueError("burst_length must be positive")
-    arrivals = [False] * horizon
+    arrivals = np.zeros(horizon, dtype=bool)
     t = 0
     while t < horizon:
         if rng.random() < burst_probability:
-            for offset in range(min(burst_length, horizon - t)):
-                arrivals[t + offset] = True
+            arrivals[t : t + burst_length] = True
             t += burst_length
         else:
             t += 1
     return arrivals
 
 
-def sparse_arrivals(horizon: int, num_events: int, rng: np.random.Generator) -> list[bool]:
+def sparse_arrivals(horizon: int, num_events: int, rng: np.random.Generator) -> np.ndarray:
     """Exactly ``num_events`` arrivals placed uniformly at random."""
     if horizon < 0:
         raise ValueError("horizon must be non-negative")
     if num_events < 0 or num_events > horizon:
         raise ValueError("num_events must lie in [0, horizon]")
-    arrivals = [False] * horizon
+    arrivals = np.zeros(horizon, dtype=bool)
     positions = rng.choice(horizon, size=num_events, replace=False)
-    for position in positions:
-        arrivals[int(position)] = True
+    arrivals[positions] = True
     return arrivals
 
 
 def records_from_arrivals(
-    arrivals: Sequence[bool],
+    arrivals: Sequence[bool] | np.ndarray,
     schema: Schema,
     value_sampler: Callable[[int, np.random.Generator], dict],
     rng: np.random.Generator,
@@ -131,7 +127,7 @@ def records_from_arrivals(
 
 def build_growing_database(
     schema: Schema,
-    arrivals: Sequence[bool],
+    arrivals: Sequence[bool] | np.ndarray,
     value_sampler: Callable[[int, np.random.Generator], dict],
     rng: np.random.Generator,
     initial: Sequence[Record] = (),

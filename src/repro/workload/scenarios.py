@@ -1,0 +1,374 @@
+"""Named, reusable traffic scenarios.
+
+Experiment grids (:mod:`repro.simulation.runner`) reference workloads by
+*scenario name* instead of carrying workload-construction code around: a
+scenario is a named recipe that deterministically builds the per-table
+:class:`~repro.workload.stream.GrowingDatabase` streams (and the evaluation
+queries that make sense on them) from a ``(seed, scale)`` pair.  Because the
+recipe is looked up by name inside each worker process, grid cells stay
+cheap, picklable descriptions.
+
+Built-in scenarios:
+
+``taxi-june`` / ``taxi-yellow``
+    The paper's June-2020 NYC taxi workloads (both tables / Yellow Cab only)
+    with the Section 8 test queries Q1-Q3.  These reproduce
+    ``repro.simulation.experiment.taxi_workloads`` bit-for-bit.
+``poisson`` / ``diurnal`` / ``bursty`` / ``sparse``
+    The generic arrival shapes of :mod:`repro.workload.generator` on a single
+    event table.
+``heavy-traffic``
+    Two near-saturated streams (one record almost every time unit) -- the
+    stress shape for production-scale throughput work.
+``multi-table-skew``
+    Three tables with wildly different occupancies (hot / warm / cold), the
+    shape that exercises per-owner scheduling fairness.
+
+Use :func:`register_scenario` to add project-specific scenarios; grids pick
+them up by name immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.edb.records import Schema
+from repro.query.ast import Query
+from repro.query.sql import parse_query
+from repro.workload.generator import (
+    build_growing_database,
+    bursty_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+    sparse_arrivals,
+)
+from repro.workload.nyc_taxi import (
+    GREEN_TARGET_RECORDS,
+    JUNE_2020_MINUTES,
+    YELLOW_TARGET_RECORDS,
+    generate_green_taxi,
+    generate_yellow_cab,
+)
+from repro.workload.stream import GrowingDatabase
+
+__all__ = [
+    "PAPER_Q1_SQL",
+    "PAPER_Q2_SQL",
+    "PAPER_Q3_SQL",
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "build_scenario",
+    "scenario_queries",
+    "taxi_queries",
+]
+
+#: The paper's three test queries (Section 8, "Testing query").
+PAPER_Q1_SQL = "SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 50 AND 100"
+PAPER_Q2_SQL = "SELECT pickupID, COUNT(*) AS PickupCnt FROM YellowCab GROUP BY pickupID"
+PAPER_Q3_SQL = (
+    "SELECT COUNT(*) FROM YellowCab INNER JOIN GreenTaxi "
+    "ON YellowCab.pickTime = GreenTaxi.pickTime"
+)
+
+#: Builder signature: ``(seed, scale, **kwargs) -> {table: GrowingDatabase}``.
+ScenarioBuilder = Callable[..., dict[str, GrowingDatabase]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload recipe.
+
+    Attributes
+    ----------
+    name:
+        Registry key; grids reference the scenario by this string.
+    description:
+        One-line human description (shown by ``list_scenarios`` consumers).
+    builder:
+        ``(seed, scale, **kwargs)`` callable producing the per-table streams.
+    queries:
+        Zero-argument callable producing the evaluation queries appropriate
+        for the scenario's tables.
+    """
+
+    name: str
+    description: str
+    builder: ScenarioBuilder
+    queries: Callable[[], list[Query]]
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry (``replace=True`` to overwrite)."""
+    if scenario.name in _REGISTRY and not replace:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def list_scenarios() -> tuple[Scenario, ...]:
+    """All registered scenarios, sorted by name."""
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def build_scenario(
+    name: str, seed: int = 0, scale: float = 1.0, **kwargs
+) -> dict[str, GrowingDatabase]:
+    """Build the named scenario's workload tables."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    return get_scenario(name).builder(seed=seed, scale=scale, **kwargs)
+
+
+def scenario_queries(name: str) -> list[Query]:
+    """The evaluation queries of the named scenario."""
+    return get_scenario(name).queries()
+
+
+# ---------------------------------------------------------------------------
+# Taxi scenarios (the paper's Section 8 workloads)
+# ---------------------------------------------------------------------------
+
+
+def taxi_queries() -> list[Query]:
+    """The paper's Q1 (range count), Q2 (group-by count), Q3 (join count)."""
+    return [
+        parse_query(PAPER_Q1_SQL, label="Q1"),
+        parse_query(PAPER_Q2_SQL, label="Q2"),
+        parse_query(PAPER_Q3_SQL, label="Q3"),
+    ]
+
+
+def _scaled_horizon(base: int, scale: float, floor: int = 60) -> int:
+    return max(floor, int(base * scale))
+
+
+def _build_taxi(
+    seed: int = 0, scale: float = 1.0, include_green: bool = True
+) -> dict[str, GrowingDatabase]:
+    horizon = _scaled_horizon(JUNE_2020_MINUTES, scale)
+    yellow = generate_yellow_cab(
+        rng=np.random.default_rng(seed),
+        horizon=horizon,
+        target_records=min(horizon, max(10, int(YELLOW_TARGET_RECORDS * scale))),
+    )
+    workloads: dict[str, GrowingDatabase] = {yellow.table: yellow}
+    if include_green:
+        green = generate_green_taxi(
+            rng=np.random.default_rng(seed + 1),
+            horizon=horizon,
+            target_records=min(horizon, max(10, int(GREEN_TARGET_RECORDS * scale))),
+        )
+        workloads[green.table] = green
+    return workloads
+
+
+register_scenario(
+    Scenario(
+        name="taxi-june",
+        description="June-2020 Yellow Cab + Green Boro taxi streams (paper Section 8)",
+        builder=lambda seed=0, scale=1.0: _build_taxi(seed, scale, include_green=True),
+        queries=taxi_queries,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="taxi-yellow",
+        description="June-2020 Yellow Cab stream only (paper sweeps, Figures 5-6)",
+        builder=lambda seed=0, scale=1.0: _build_taxi(seed, scale, include_green=False),
+        queries=taxi_queries,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Generic event scenarios
+# ---------------------------------------------------------------------------
+
+_EVENT_SCHEMA = Schema(name="Events", attributes=("sensor_id", "value"))
+
+
+def _event_sampler(t: int, rng: np.random.Generator) -> dict:
+    return {"sensor_id": int(rng.integers(1, 10)), "value": int(rng.integers(0, 100))}
+
+
+def _event_queries(table: str = "Events") -> Callable[[], list[Query]]:
+    def queries() -> list[Query]:
+        return [
+            parse_query(
+                f"SELECT COUNT(*) FROM {table} WHERE value BETWEEN 25 AND 75",
+                label="Q1",
+            ),
+            parse_query(
+                f"SELECT sensor_id, COUNT(*) AS Cnt FROM {table} GROUP BY sensor_id",
+                label="Q2",
+            ),
+        ]
+
+    return queries
+
+
+def _single_table(
+    schema: Schema, arrivals, seed: int
+) -> dict[str, GrowingDatabase]:
+    payload_rng = np.random.default_rng(np.random.SeedSequence([seed, 0xFACE]))
+    db = build_growing_database(schema, arrivals, _event_sampler, payload_rng)
+    return {db.table: db}
+
+
+def _build_poisson(
+    seed: int = 0, scale: float = 1.0, rate: float = 0.3, base_horizon: int = 5_000
+) -> dict[str, GrowingDatabase]:
+    horizon = _scaled_horizon(base_horizon, scale)
+    arrivals = poisson_arrivals(horizon, rate, np.random.default_rng(seed))
+    return _single_table(_EVENT_SCHEMA, arrivals, seed)
+
+
+def _build_diurnal(
+    seed: int = 0,
+    scale: float = 1.0,
+    base_rate: float = 0.05,
+    peak_rate: float = 0.7,
+    base_horizon: int = 5_760,
+) -> dict[str, GrowingDatabase]:
+    horizon = _scaled_horizon(base_horizon, scale)
+    arrivals = diurnal_arrivals(
+        horizon, base_rate=base_rate, peak_rate=peak_rate, rng=np.random.default_rng(seed)
+    )
+    return _single_table(_EVENT_SCHEMA, arrivals, seed)
+
+
+def _build_bursty(
+    seed: int = 0,
+    scale: float = 1.0,
+    burst_probability: float = 0.01,
+    burst_length: int = 40,
+    base_horizon: int = 5_000,
+) -> dict[str, GrowingDatabase]:
+    horizon = _scaled_horizon(base_horizon, scale)
+    arrivals = bursty_arrivals(
+        horizon, burst_probability, burst_length, np.random.default_rng(seed)
+    )
+    return _single_table(_EVENT_SCHEMA, arrivals, seed)
+
+
+def _build_sparse(
+    seed: int = 0, scale: float = 1.0, occupancy: float = 0.01, base_horizon: int = 10_000
+) -> dict[str, GrowingDatabase]:
+    horizon = _scaled_horizon(base_horizon, scale)
+    num_events = max(1, int(horizon * occupancy))
+    arrivals = sparse_arrivals(horizon, num_events, np.random.default_rng(seed))
+    return _single_table(_EVENT_SCHEMA, arrivals, seed)
+
+
+register_scenario(
+    Scenario(
+        name="poisson",
+        description="Steady Bernoulli-thinned Poisson traffic (rate 0.3)",
+        builder=_build_poisson,
+        queries=_event_queries(),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="diurnal",
+        description="Day/night raised-cosine traffic (base 0.05, peak 0.7)",
+        builder=_build_diurnal,
+        queries=_event_queries(),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="bursty",
+        description="Idle stretches interleaved with solid 40-unit bursts",
+        builder=_build_bursty,
+        queries=_event_queries(),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="sparse",
+        description="Extremely sparse events (1% occupancy, IoT-like)",
+        builder=_build_sparse,
+        queries=_event_queries(),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# New stress scenarios
+# ---------------------------------------------------------------------------
+
+
+def _build_heavy_traffic(
+    seed: int = 0, scale: float = 1.0, rate: float = 0.95, base_horizon: int = 4_000
+) -> dict[str, GrowingDatabase]:
+    """Two near-saturated streams: a record arrives almost every time unit."""
+    horizon = _scaled_horizon(base_horizon, scale)
+    workloads: dict[str, GrowingDatabase] = {}
+    for index, table in enumerate(("HeavyA", "HeavyB")):
+        schema = Schema(name=table, attributes=("sensor_id", "value"))
+        child_seed = np.random.SeedSequence([seed, index])
+        arrivals = poisson_arrivals(horizon, rate, np.random.default_rng(child_seed))
+        payload_rng = np.random.default_rng(np.random.SeedSequence([seed, index, 0xFACE]))
+        workloads[table] = build_growing_database(
+            schema, arrivals, _event_sampler, payload_rng
+        )
+    return workloads
+
+
+def _build_multi_table_skew(
+    seed: int = 0, scale: float = 1.0, base_horizon: int = 6_000
+) -> dict[str, GrowingDatabase]:
+    """Hot / warm / cold tables with occupancies spanning two orders of magnitude."""
+    horizon = _scaled_horizon(base_horizon, scale)
+    shapes = (("Hot", 0.9), ("Warm", 0.15), ("Cold", 0.01))
+    workloads: dict[str, GrowingDatabase] = {}
+    for index, (table, rate) in enumerate(shapes):
+        schema = Schema(name=table, attributes=("sensor_id", "value"))
+        child_seed = np.random.SeedSequence([seed, index])
+        arrivals = poisson_arrivals(horizon, rate, np.random.default_rng(child_seed))
+        payload_rng = np.random.default_rng(np.random.SeedSequence([seed, index, 0xFACE]))
+        workloads[table] = build_growing_database(
+            schema, arrivals, _event_sampler, payload_rng
+        )
+    return workloads
+
+
+register_scenario(
+    Scenario(
+        name="heavy-traffic",
+        description="Two near-saturated streams (95% occupancy): throughput stress",
+        builder=_build_heavy_traffic,
+        queries=_event_queries("HeavyA"),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="multi-table-skew",
+        description="Hot/warm/cold tables (90% / 15% / 1% occupancy): skewed load",
+        builder=_build_multi_table_skew,
+        queries=_event_queries("Hot"),
+    )
+)

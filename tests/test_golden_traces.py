@@ -1,0 +1,105 @@
+"""Golden-trace regression fixtures.
+
+``tests/golden/`` holds one small fixed-seed run per (strategy, back-end)
+pair, committed as JSON.  Replaying the engine against them turns "a refactor
+silently changed the numerics" into a loud failure with a diffable artifact,
+instead of something only the (much coarser) legacy-equivalence matrix might
+catch.
+
+The traces are intentionally tiny (down-scaled June taxi workload, ~650 time
+units) so the whole matrix replays in a few seconds.
+
+Regenerating (only when a numerics change is *intended*)::
+
+    PYTHONPATH=src python tests/test_golden_traces.py --regen
+
+then inspect the diff of ``tests/golden/`` before committing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.simulation.results import RunResult
+from repro.simulation.runner import CellSpec, run_cell
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+STRATEGIES = ("sur", "set", "oto", "dp-timer", "dp-ant")
+BACKENDS = ("oblidb", "crypte")
+
+
+def golden_spec(strategy: str, backend: str) -> CellSpec:
+    """The fixed cell behind one golden trace.
+
+    Seeds are literal constants: the fixture's identity must never depend on
+    code that could itself change (grids, spawn logic, defaults drift is
+    caught because the spec is stored inside the fixture and compared).
+    """
+    return CellSpec(
+        strategy=strategy,
+        backend=backend,
+        scenario="taxi-june" if backend == "oblidb" else "taxi-yellow",
+        scale=0.015,
+        query_interval=180,
+        sim_seed=1234,
+        backend_seed=99,
+        workload_seed=2020,
+    )
+
+
+def golden_path(strategy: str, backend: str) -> Path:
+    return GOLDEN_DIR / f"{strategy}_{backend}.json"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_golden_trace_replay(strategy, backend):
+    """The engine reproduces every committed trace bit-for-bit."""
+    path = golden_path(strategy, backend)
+    fixture = json.loads(path.read_text())
+    spec = CellSpec.from_dict(fixture["spec"])
+    # The fixture pins the *full* spec: if golden_spec() drifts (e.g. a
+    # default changed under it), fail with a message pointing at the cause
+    # rather than a numeric diff.
+    assert spec == golden_spec(strategy, backend), (
+        "golden spec drifted; regenerate fixtures deliberately if intended"
+    )
+    result = run_cell(spec)
+    assert result.to_dict() == fixture["result"], (
+        f"numerics changed for {strategy}/{backend}; if intended, regenerate "
+        "tests/golden/ via 'python tests/test_golden_traces.py --regen'"
+    )
+
+
+def test_golden_fixture_round_trip():
+    """Stored results load back into equal RunResult objects."""
+    path = golden_path("dp-timer", "oblidb")
+    fixture = json.loads(path.read_text())
+    loaded = RunResult.from_dict(fixture["result"])
+    assert loaded.to_dict() == fixture["result"]
+    assert loaded.query_names()  # traces survived the round trip
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for strategy in STRATEGIES:
+        for backend in BACKENDS:
+            spec = golden_spec(strategy, backend)
+            result = run_cell(spec)
+            payload = {"spec": spec.to_dict(), "result": result.to_dict()}
+            golden_path(strategy, backend).write_text(
+                json.dumps(payload, indent=1) + "\n"
+            )
+            print(f"wrote {golden_path(strategy, backend)}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        raise SystemExit("pass --regen to overwrite tests/golden/")
+    regenerate()

@@ -8,7 +8,12 @@ choice:
 3. order preservation (FIFO): real records reach the server in arrival order;
 4. dummy hygiene: dummies appear only as padding, never in the logical DB;
 5. privacy accounting: the composed epsilon never exceeds the configured one;
-6. SET/OTO update patterns are functions of time only.
+6. SET/OTO update patterns are functions of time only;
+7. payload independence: for a fixed (seed, parameters), the DP strategies'
+   update patterns depend on the arrival *times* only through the DP
+   mechanisms -- substituting every record payload leaves the emitted
+   pattern identical (the paper's core guarantee: the server-visible
+   pattern leaks nothing about record contents).
 """
 
 from __future__ import annotations
@@ -113,6 +118,75 @@ def test_set_volume_sequence_depends_only_on_time(arrivals):
     volumes = [strategy.step(t, record(t) if a else None).volume
                for t, a in enumerate(arrivals, start=1)]
     assert volumes == [1] * len(arrivals)
+
+
+# -- payload independence (the paper's core DP-Sync guarantee) ----------------
+
+def _payload_record(t: int, variant: int) -> Record:
+    """Schema-conformant payloads that differ completely between variants."""
+    if variant == 0:
+        values = {"sensor_id": t % 9, "value": float(t)}
+    else:
+        values = {"sensor_id": (t * 31 + 5) % 9, "value": float(10_000 - 3 * t)}
+    return Record(values=values, arrival_time=t, table="events")
+
+
+def _update_pattern(strategy, arrivals, variant, initial=0):
+    """The server-visible pattern: (time, synced?, volume, #real) per step."""
+    gamma0 = strategy.setup([_payload_record(0, variant) for _ in range(initial)])
+    pattern = [(0, len(gamma0), sum(1 for r in gamma0 if not r.is_dummy))]
+    for t, arrived in enumerate(arrivals, start=1):
+        update = _payload_record(t, variant) if arrived else None
+        decision = strategy.step(t, update)
+        pattern.append(
+            (
+                t,
+                decision.should_sync,
+                decision.volume,
+                sum(1 for r in decision.records if not r.is_dummy),
+                decision.reason,
+            )
+        )
+    return pattern
+
+
+dp_strategy_builders = st.sampled_from(
+    [
+        lambda seed, period, theta: DPTimerStrategy(
+            dummy_factory, epsilon=0.5, period=period,
+            flush=FlushPolicy(interval=40, size=3), rng=np.random.default_rng(seed),
+        ),
+        lambda seed, period, theta: DPANTStrategy(
+            dummy_factory, epsilon=0.5, theta=theta,
+            flush=FlushPolicy(interval=40, size=3), rng=np.random.default_rng(seed),
+        ),
+    ]
+)
+
+
+@given(
+    builder=dp_strategy_builders,
+    arrivals=arrival_streams,
+    seed=st.integers(0, 1000),
+    period=st.integers(1, 20),
+    theta=st.integers(0, 12),
+    initial=st.integers(0, 5),
+)
+@settings(max_examples=120, deadline=None)
+def test_dp_update_pattern_invariant_under_payload_substitution(
+    builder, arrivals, seed, period, theta, initial
+):
+    """Fixed (seed, params): record contents never influence the pattern.
+
+    Two streams with identical arrival times but completely different record
+    payloads must produce identical update patterns -- sync times, volumes,
+    real/dummy splits and trigger reasons.  This is the property behind the
+    paper's DP guarantee: the mechanisms read only arrival counts, never
+    record values.
+    """
+    pattern_a = _update_pattern(builder(seed, period, theta), arrivals, 0, initial)
+    pattern_b = _update_pattern(builder(seed, period, theta), arrivals, 1, initial)
+    assert pattern_a == pattern_b
 
 
 @given(arrivals=arrival_streams, seed=st.integers(0, 500))

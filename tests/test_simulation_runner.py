@@ -1,0 +1,261 @@
+"""Tests for the parallel experiment runner (grids, seeds, checkpoint/resume).
+
+The load-bearing guarantee is determinism: a grid's per-cell seeds depend only
+on the grid definition and the cell's position, so the same grid produces
+bit-identical per-cell results whether it runs in-process, on one worker, or
+on four -- and whether a cell is computed or loaded back from a checkpoint
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.simulation.experiment import run_end_to_end, EndToEndConfig
+from repro.simulation.results import RunResult
+from repro.simulation.runner import (
+    CellSpec,
+    ExperimentGrid,
+    GridRunner,
+    main,
+    run_cell,
+)
+
+#: A grid small enough for the suite but heterogeneous enough to be honest:
+#: two strategies x two epsilons on a sparse stream.
+def small_grid(base_seed: int = 7) -> ExperimentGrid:
+    return ExperimentGrid(
+        strategies=("dp-timer", "dp-ant"),
+        scenarios=("sparse",),
+        parameters={"epsilon": [0.1, 1.0], "scale": [0.1], "query_interval": [400]},
+        base_seed=base_seed,
+    )
+
+
+class TestCellSpec:
+    def test_round_trip(self):
+        spec = CellSpec(
+            strategy="dp-ant",
+            backend="crypte",
+            scenario="poisson",
+            epsilon=0.25,
+            queries=("Q2",),
+            scenario_kwargs=(("rate", 0.4),),
+            sim_seed=11,
+        )
+        clone = CellSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_default_cell_id_distinguishes_parameters(self):
+        a = CellSpec(strategy="dp-timer", epsilon=0.1)
+        b = CellSpec(strategy="dp-timer", epsilon=1.0)
+        assert a.cell_id != b.cell_id
+
+    def test_fingerprint_changes_with_spec(self):
+        a = CellSpec(strategy="dp-timer", sim_seed=1)
+        b = CellSpec(strategy="dp-timer", sim_seed=2)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_flush_policy_reconstruction(self):
+        enabled = CellSpec(strategy="sur", flush_interval=500, flush_size=3)
+        assert enabled.flush_policy().should_flush(500)
+        disabled = CellSpec(strategy="sur", flush_enabled=False)
+        assert not disabled.flush_policy().enabled
+
+
+class TestExperimentGrid:
+    def test_enumeration_order_and_size(self):
+        grid = small_grid()
+        cells = grid.cells()
+        assert len(cells) == len(grid) == 4
+        assert [c.strategy for c in cells] == ["dp-timer", "dp-timer", "dp-ant", "dp-ant"]
+        assert len({c.cell_id for c in cells}) == 4
+
+    def test_seeds_are_deterministic_and_positional(self):
+        first = small_grid().cells()
+        second = small_grid().cells()
+        assert [(c.sim_seed, c.backend_seed, c.workload_seed) for c in first] == [
+            (c.sim_seed, c.backend_seed, c.workload_seed) for c in second
+        ]
+        # Different base seeds must decorrelate every cell.
+        other = small_grid(base_seed=8).cells()
+        assert all(a.sim_seed != b.sim_seed for a, b in zip(first, other))
+
+    def test_unknown_parameter_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentGrid(strategies=("sur",), parameters={"not_a_field": [1]})
+
+    def test_empty_strategies_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentGrid(strategies=())
+
+
+class TestRunnerDeterminism:
+    """The ISSUE's core runner guarantee: worker count never changes results."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return GridRunner(n_workers=1).run(small_grid())
+
+    def test_results_identical_across_worker_counts(self, serial):
+        parallel = GridRunner(n_workers=4).run(small_grid())
+        assert list(parallel.results) == list(serial.results)
+        for cell_id in serial.results:
+            assert parallel[cell_id] == serial[cell_id], cell_id
+
+    def test_in_process_default_matches(self, serial):
+        assert GridRunner().run(small_grid()).results == serial.results
+
+    def test_single_cell_run_matches_grid(self, serial):
+        cells = small_grid().cells()
+        assert run_cell(cells[0]) == serial[cells[0].cell_id]
+
+
+class TestCheckpointResume:
+    def test_artifacts_written_and_resumed(self, tmp_path):
+        grid = small_grid()
+        first = GridRunner(n_workers=2, artifact_dir=tmp_path).run(grid)
+        assert first.resumed == ()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["n_cells"] == len(grid)
+        cell_files = list((tmp_path / "cells").glob("*.json"))
+        assert len(cell_files) == len(grid)
+
+        second = GridRunner(n_workers=1, artifact_dir=tmp_path).run(grid)
+        assert len(second.resumed) == len(grid)
+        assert second.results == first.results
+        assert second.executed == ()
+
+    def test_artifact_round_trip_is_exact(self, tmp_path):
+        grid = small_grid()
+        outcome = GridRunner(artifact_dir=tmp_path).run(grid)
+        for path in (tmp_path / "cells").glob("*.json"):
+            payload = json.loads(path.read_text())
+            spec = CellSpec.from_dict(payload["spec"])
+            loaded = RunResult.from_dict(payload["result"])
+            assert loaded == outcome[spec.cell_id]
+            assert loaded.to_dict() == payload["result"]
+
+    def test_changed_spec_invalidates_checkpoint(self, tmp_path):
+        cells = small_grid().cells()
+        runner = GridRunner(artifact_dir=tmp_path)
+        runner.run(cells[:1])
+        # Same cell id, different content: the stale artifact must not be used.
+        from dataclasses import replace
+
+        changed = replace(cells[0], sim_seed=cells[0].sim_seed + 1, cell_id=cells[0].cell_id)
+        outcome = GridRunner(artifact_dir=tmp_path).run([changed])
+        assert outcome.resumed == ()
+
+    def test_corrupt_artifact_is_recomputed(self, tmp_path):
+        cells = small_grid().cells()[:1]
+        GridRunner(artifact_dir=tmp_path).run(cells)
+        for path in (tmp_path / "cells").glob("*.json"):
+            path.write_text("{not json")
+        outcome = GridRunner(artifact_dir=tmp_path).run(cells)
+        assert outcome.resumed == ()
+
+    def test_checkpoints_written_incrementally(self, tmp_path):
+        """Each cell is persisted as it finishes, not when the pool drains.
+
+        An interrupted sweep must be able to resume from every cell computed
+        so far; the progress callback fires right after the checkpoint write,
+        so at event ``done=k`` at least ``k`` artifacts must already exist.
+        """
+        observed = []
+
+        def on_progress(event):
+            files = list((tmp_path / "cells").glob("*.json"))
+            observed.append((event["done"], len(files)))
+
+        GridRunner(n_workers=2, artifact_dir=tmp_path, progress=on_progress).run(
+            small_grid()
+        )
+        assert observed and all(n >= done for done, n in observed)
+
+    def test_failed_cell_preserves_completed_checkpoints(self, tmp_path):
+        good = CellSpec(strategy="sur", scenario="sparse", scale=0.05)
+        bad = CellSpec(strategy="sur", scenario="does-not-exist", scale=0.05)
+        with pytest.raises(KeyError):
+            GridRunner(artifact_dir=tmp_path).run([good, bad])
+        resumed = GridRunner(artifact_dir=tmp_path).run([good])
+        assert resumed.resumed == (good.cell_id,)
+
+    def test_distinct_specs_never_share_default_cell_ids(self):
+        # Fields outside the readable id prefix still distinguish cells.
+        a = CellSpec(strategy="sur")
+        b = CellSpec(strategy="sur", backend_seed=1)
+        c = CellSpec(strategy="sur", flush_interval=999)
+        d = CellSpec(strategy="sur", queries=("Q2",))
+        assert len({a.cell_id, b.cell_id, c.cell_id, d.cell_id}) == 4
+
+    def test_duplicate_cell_ids_rejected(self):
+        cells = small_grid().cells()
+        with pytest.raises(ValueError):
+            GridRunner().run([cells[0], cells[0]])
+
+
+class TestProgressReporting:
+    def test_progress_callback_receives_eta(self):
+        events = []
+        GridRunner(progress=events.append).run(small_grid().cells()[:2])
+        assert [e["done"] for e in events] == [1, 2]
+        assert events[0]["total"] == 2
+        assert events[-1]["eta_seconds"] == 0.0
+        assert all(e["cell_seconds"] >= 0 for e in events)
+
+    def test_progress_printing(self, tmp_path, capsys):
+        GridRunner(progress=True, artifact_dir=tmp_path).run(small_grid().cells()[:1])
+        GridRunner(progress=True, artifact_dir=tmp_path).run(small_grid().cells()[:1])
+        err = capsys.readouterr().err
+        assert "[1/1]" in err
+        assert "resumed" in err
+
+
+class TestExperimentWrappers:
+    def test_end_to_end_workers_match_serial(self):
+        config = EndToEndConfig(
+            backend="oblidb",
+            strategies=("sur", "dp-timer"),
+            scale=0.01,
+            query_interval=120,
+            seed=4,
+        )
+        serial = run_end_to_end(config)
+        parallel = run_end_to_end(config, n_workers=2)
+        assert serial.keys() == parallel.keys()
+        for name in serial:
+            assert serial[name] == parallel[name]
+
+    def test_end_to_end_resume(self, tmp_path):
+        config = EndToEndConfig(
+            backend="oblidb", strategies=("sur",), scale=0.01, query_interval=120
+        )
+        first = run_end_to_end(config, artifact_dir=tmp_path)
+        second = run_end_to_end(config, artifact_dir=tmp_path)
+        assert first["sur"] == second["sur"]
+
+
+class TestCli:
+    def test_main_smoke(self, tmp_path, capsys):
+        code = main(
+            [
+                "--strategies",
+                "dp-timer,dp-ant",
+                "--scenario",
+                "sparse",
+                "--scale",
+                "0.05",
+                "--workers",
+                "2",
+                "--artifact-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out
+        assert (tmp_path / "manifest.json").exists()

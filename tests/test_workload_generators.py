@@ -39,6 +39,26 @@ class TestArrivalProcesses:
         assert len(arrivals) == 20_000
         assert 0.27 <= np.mean(arrivals) <= 0.33
 
+    def test_generators_return_bool_ndarrays(self):
+        """Arrival indicators are numpy bool arrays end to end (no list
+        round-trips on the ingest path)."""
+        rng = np.random.default_rng(0)
+        produced = [
+            poisson_arrivals(100, 0.5, rng),
+            diurnal_arrivals(100, base_rate=0.1, peak_rate=0.9, rng=rng),
+            bursty_arrivals(100, burst_probability=0.05, burst_length=5, rng=rng),
+            sparse_arrivals(100, 7, rng),
+        ]
+        for arrivals in produced:
+            assert isinstance(arrivals, np.ndarray)
+            assert arrivals.dtype == np.bool_
+            assert arrivals.shape == (100,)
+
+    def test_zero_horizon_arrays(self):
+        rng = np.random.default_rng(0)
+        assert poisson_arrivals(0, 0.5, rng).shape == (0,)
+        assert sparse_arrivals(0, 0, rng).shape == (0,)
+
     def test_poisson_validation(self):
         rng = np.random.default_rng(0)
         with pytest.raises(ValueError):

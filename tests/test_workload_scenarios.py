@@ -1,0 +1,119 @@
+"""Tests for the named-scenario registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query.ast import GroupByCountQuery
+from repro.workload.scenarios import (
+    Scenario,
+    build_scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_queries,
+)
+from repro.workload.stream import GrowingDatabase
+
+EXPECTED_BUILTINS = {
+    "taxi-june",
+    "taxi-yellow",
+    "poisson",
+    "diurnal",
+    "bursty",
+    "sparse",
+    "heavy-traffic",
+    "multi-table-skew",
+}
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = {s.name for s in list_scenarios()}
+        assert EXPECTED_BUILTINS <= names
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_register_rejects_duplicates(self):
+        scenario = get_scenario("poisson")
+        with pytest.raises(ValueError):
+            register_scenario(scenario)
+        # replace=True is the escape hatch (re-register the same object).
+        assert register_scenario(scenario, replace=True) is scenario
+
+    def test_custom_registration(self):
+        name = "test-only-scenario"
+        try:
+            register_scenario(
+                Scenario(
+                    name=name,
+                    description="one empty-ish table",
+                    builder=lambda seed=0, scale=1.0: build_scenario(
+                        "sparse", seed=seed, scale=scale
+                    ),
+                    queries=lambda: scenario_queries("sparse"),
+                )
+            )
+            tables = build_scenario(name, seed=1, scale=0.05)
+            assert all(isinstance(db, GrowingDatabase) for db in tables.values())
+        finally:
+            from repro.workload import scenarios as module
+
+            module._REGISTRY.pop(name, None)
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            build_scenario("poisson", scale=0.0)
+        with pytest.raises(ValueError):
+            build_scenario("poisson", scale=1.5)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_BUILTINS))
+    def test_same_seed_same_stream(self, name):
+        a = build_scenario(name, seed=13, scale=0.05)
+        b = build_scenario(name, seed=13, scale=0.05)
+        assert set(a) == set(b)
+        for table in a:
+            assert a[table].update_indicator() == b[table].update_indicator()
+            va = [u.values for u in a[table].updates if u is not None]
+            vb = [u.values for u in b[table].updates if u is not None]
+            assert va == vb
+
+    def test_different_seeds_differ(self):
+        a = build_scenario("poisson", seed=1, scale=0.1)
+        b = build_scenario("poisson", seed=2, scale=0.1)
+        assert a["Events"].update_indicator() != b["Events"].update_indicator()
+
+
+class TestShapes:
+    def test_heavy_traffic_is_heavy(self):
+        tables = build_scenario("heavy-traffic", seed=0, scale=0.2)
+        assert set(tables) == {"HeavyA", "HeavyB"}
+        for db in tables.values():
+            assert db.occupancy > 0.85
+
+    def test_multi_table_skew_spans_orders_of_magnitude(self):
+        tables = build_scenario("multi-table-skew", seed=0, scale=0.5)
+        assert set(tables) == {"Hot", "Warm", "Cold"}
+        assert tables["Hot"].occupancy > 4 * tables["Warm"].occupancy > 0
+        assert tables["Warm"].occupancy > 5 * tables["Cold"].occupancy > 0
+
+    def test_scenario_queries_match_tables(self):
+        for name in EXPECTED_BUILTINS:
+            tables = set(build_scenario(name, seed=0, scale=0.05))
+            for query in scenario_queries(name):
+                for table in query.tables:
+                    assert table in tables or name == "taxi-yellow", (name, table)
+
+    def test_taxi_yellow_has_group_by(self):
+        queries = scenario_queries("taxi-yellow")
+        assert any(isinstance(q, GroupByCountQuery) for q in queries)
+
+    def test_scale_shrinks_horizon(self):
+        big = build_scenario("poisson", seed=0, scale=1.0)["Events"]
+        small = build_scenario("poisson", seed=0, scale=0.1)["Events"]
+        assert small.horizon < big.horizon
