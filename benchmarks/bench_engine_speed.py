@@ -1,34 +1,39 @@
-"""Engine-vs-legacy wall-clock benchmark.
+"""Engine wall-clock benchmarks: event scheduling and the EDB fast path.
 
-Replays a sparse 50,000-tick, 3-table DP-Timer workload twice -- once
-through the original per-tick loop (:meth:`Simulation.run_legacy`) and once
-through the scheduled-event engine (:meth:`Simulation.run`) -- and records
-the wall-clock of each.  On a sparse stream the legacy loop spends almost
-all of its time on dead iterations (strategy steps that are no-ops), which
-the engine skips entirely, so the speedup grows with the quiet fraction of
-the horizon.
+Two comparisons are recorded into ``BENCH_engine.json`` at the repo root:
 
-The results are emitted to ``BENCH_engine.json`` at the repository root to
-seed the performance trajectory across PRs; the test also asserts the
-acceptance floor of a 3x speedup and that both paths produce identical
-results.
+1. **engine vs legacy loop** -- a sparse 50,000-tick, 3-table DP-Timer
+   workload replayed through the original per-tick loop
+   (:meth:`Simulation.run_legacy`) and the scheduled-event engine
+   (:meth:`Simulation.run`).  On a sparse stream the legacy loop spends
+   almost all of its time on dead iterations, which the engine skips.
+2. **EDB fast path vs reference** -- a Figure-2-scale dp-timer run (full
+   June taxi workload, paper query schedule) on the engine, once with the
+   ``reference`` EDB mode (the PR-1 engine baseline: row-at-a-time
+   operators) and once with the vectorized ``fast`` mode.  Results are
+   asserted bit-identical; the acceptance floor is a 5x speedup.
+
+Shared CI runners set lower smoke floors via the ``REPRO_BENCH_MIN_SPEEDUP``
+/ ``REPRO_BENCH_MIN_EDB_SPEEDUP`` knobs because wall-clock ratios are noisy
+there.
 """
 
 from __future__ import annotations
 
-import json
+import dataclasses
 import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from benchmarks.conftest import emit_report
+from benchmarks.conftest import emit_report, merge_bench_json
 from repro.core.strategies.flush import FlushPolicy
 from repro.edb.oblidb import ObliDB
 from repro.edb.records import Record
 from repro.query.ast import CountQuery
 from repro.query.predicates import RangePredicate
+from repro.simulation.runner import CellSpec, run_cell
 from repro.simulation.simulator import Simulation, SimulationConfig
 from repro.workload.stream import GrowingDatabase
 
@@ -39,6 +44,10 @@ TIMER_PERIOD = 120  # sparse sync schedule to match the sparse stream
 # The acceptance floor is 3x (local margin ~4.6x); shared CI runners set a
 # lower smoke floor because wall-clock ratios are noisy there.
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+#: Acceptance floor for the figure-2-scale EDB fast path (local margin ~7x).
+MIN_EDB_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_EDB_SPEEDUP", "5.0"))
+#: Workload scale of the fast-path comparison (1.0 = the paper's Figure 2).
+FIG2_SCALE = float(os.environ.get("REPRO_BENCH_FIG2_SCALE", "1.0"))
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
@@ -114,7 +123,7 @@ def test_engine_speedup_over_legacy_loop(bench_settings):
         "sync_count": legacy_result.sync_count,
         "total_update_volume": legacy_result.total_update_volume,
     }
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    merge_bench_json(OUTPUT_PATH, "engine_speed", payload)
 
     emit_report(
         "engine_speed",
@@ -129,4 +138,67 @@ def test_engine_speedup_over_legacy_loop(bench_settings):
 
     assert speedup >= MIN_SPEEDUP, (
         f"expected >= {MIN_SPEEDUP}x speedup, measured {speedup:.2f}x"
+    )
+
+
+def test_edb_fast_path_speedup_figure2(bench_settings):
+    """Figure-2-scale dp-timer: vectorized EDB vs the PR-1 engine baseline.
+
+    Both runs use the event-driven engine; only the EDB implementation mode
+    differs, so the measured ratio isolates the storage/query-layer rewrite.
+    """
+    spec = CellSpec(
+        strategy="dp-timer",
+        backend="oblidb",
+        scenario="taxi-june",
+        scale=FIG2_SCALE,
+        query_interval=360,
+        sim_seed=1,
+        backend_seed=2,
+        workload_seed=2020,
+    )
+    # Warm the per-process scenario cache so neither timing pays the build.
+    run_cell(dataclasses.replace(spec, horizon=10))
+
+    start = time.perf_counter()
+    reference_result = run_cell(dataclasses.replace(spec, edb_mode="reference"))
+    reference_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast_result = run_cell(dataclasses.replace(spec, edb_mode="fast"))
+    fast_seconds = time.perf_counter() - start
+
+    assert fast_result.to_dict() == reference_result.to_dict(), (
+        "fast EDB mode diverged from the reference mode"
+    )
+    speedup = reference_seconds / max(fast_seconds, 1e-9)
+
+    payload = {
+        "benchmark": "edb_fast_path_figure2",
+        "strategy": "dp-timer",
+        "backend": "oblidb",
+        "scenario": "taxi-june",
+        "scale": FIG2_SCALE,
+        "query_interval": 360,
+        "reference_seconds": round(reference_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(speedup, 2),
+        "sync_count": fast_result.sync_count,
+        "total_update_volume": fast_result.total_update_volume,
+    }
+    merge_bench_json(OUTPUT_PATH, "edb_fast_path_figure2", payload)
+
+    emit_report(
+        "edb_fast_path_figure2",
+        "Vectorized EDB fast path vs reference mode "
+        f"(figure-2-scale dp-timer, scale={FIG2_SCALE})\n\n"
+        f"reference mode : {reference_seconds:8.3f} s\n"
+        f"fast mode      : {fast_seconds:8.3f} s\n"
+        f"speedup        : {speedup:8.2f} x\n"
+        f"(results identical: sync_count={fast_result.sync_count}, "
+        f"volume={fast_result.total_update_volume})",
+    )
+
+    assert speedup >= MIN_EDB_SPEEDUP, (
+        f"expected >= {MIN_EDB_SPEEDUP}x EDB speedup, measured {speedup:.2f}x"
     )

@@ -84,6 +84,31 @@ def bench_settings() -> dict:
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 
+def merge_bench_json(path: Path, section: str, payload) -> None:
+    """Update one named section of a BENCH_*.json file, preserving the rest.
+
+    Benchmark files contribute independent sections to a shared JSON (e.g.
+    ``BENCH_engine.json`` holds both the engine-vs-legacy and the EDB
+    fast-path comparisons), so each test merges rather than overwrites; an
+    unreadable existing file is replaced instead of crashing the bench.
+    """
+    import json
+
+    merged: dict = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    # Drop pre-sectioned flat keys (old single-benchmark format) so a stale
+    # checkout never ends up with conflicting top-level and per-section data.
+    merged = {k: v for k, v in merged.items() if isinstance(v, (dict, list))}
+    merged[section] = payload
+    path.write_text(json.dumps(merged, indent=2) + "\n")
+
+
 def emit_report(name: str, text: str) -> None:
     """Print a rendered table/figure and persist it under benchmarks/output/.
 

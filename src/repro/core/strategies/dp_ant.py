@@ -129,9 +129,7 @@ class DPANTStrategy(SyncStrategy):
         """
         if self._sparse.resample_noise or self._comparison_pending:
             return now + 1
-        if self._flush.enabled and self._flush.size > 0:
-            return ((now // self._flush.interval) + 1) * self._flush.interval
-        return None
+        return self._flush.next_flush_after(now)
 
     def _step(self, time: int, update: Record | None) -> SyncDecision:
         if update is not None:

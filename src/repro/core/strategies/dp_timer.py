@@ -104,10 +104,9 @@ class DPTimerStrategy(SyncStrategy):
         state and draws no noise, so the engine may skip it.
         """
         candidates = [((now // self._period) + 1) * self._period]
-        if self._flush.enabled and self._flush.size > 0:
-            candidates.append(
-                ((now // self._flush.interval) + 1) * self._flush.interval
-            )
+        next_flush = self._flush.next_flush_after(now)
+        if next_flush is not None:
+            candidates.append(next_flush)
         return min(candidates)
 
     def _initial_records(self, initial: Sequence[Record]) -> list[Record]:

@@ -53,6 +53,18 @@ class FlushPolicy:
             return 0
         return self.size * (time // self.interval)
 
+    def next_flush_after(self, now: int) -> int | None:
+        """The first flush tick strictly after ``now`` (``None`` if never).
+
+        This is the scheduling hint both DP strategies feed to the
+        event-driven engine; keeping it on the policy guarantees the engine's
+        wake-ups and :meth:`should_flush` can never disagree about the
+        schedule.
+        """
+        if not self.enabled or self.size == 0:
+            return None
+        return ((now // self.interval) + 1) * self.interval
+
     @staticmethod
     def disabled() -> "FlushPolicy":
         """A policy that never flushes."""

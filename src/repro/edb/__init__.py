@@ -36,11 +36,13 @@ from repro.edb.leakage import (
     leakage_group_table,
 )
 from repro.edb.base import (
+    EDB_MODES,
     EncryptedDatabase,
     QueryResult,
     UpdateResult,
+    resolve_edb_mode,
 )
-from repro.edb.oram import PathORAM
+from repro.edb.oram import PathORAM, ReferencePathORAM, make_oram
 from repro.edb.oblidb import ObliDB
 from repro.edb.crypte import CryptEpsilon
 from repro.edb.cost_model import CostModel, CostParameters
@@ -50,6 +52,7 @@ __all__ = [
     "CostParameters",
     "CryptEpsilon",
     "DUMMY_SENTINEL",
+    "EDB_MODES",
     "EncryptedDatabase",
     "EncryptedRecord",
     "LeakageClass",
@@ -59,6 +62,7 @@ __all__ = [
     "QueryResult",
     "Record",
     "RecordCipher",
+    "ReferencePathORAM",
     "Schema",
     "SchemeInfo",
     "UpdateResult",
@@ -66,4 +70,6 @@ __all__ = [
     "compatible_with_dpsync",
     "leakage_group_table",
     "make_dummy_record",
+    "make_oram",
+    "resolve_edb_mode",
 ]

@@ -36,9 +36,32 @@ from repro.edb.crypto import EncryptedRecord, RecordCipher
 from repro.edb.leakage import LeakageClass, LeakageProfile
 from repro.edb.records import Record, count_dummy
 from repro.query.ast import Query
+from repro.query.columnar import ColumnarExecutor
 from repro.query.executor import Answer, PlaintextExecutor
 
-__all__ = ["UpdateResult", "QueryResult", "EncryptedDatabase", "UnsupportedQueryError"]
+__all__ = [
+    "EDB_MODES",
+    "UpdateResult",
+    "QueryResult",
+    "EncryptedDatabase",
+    "UnsupportedQueryError",
+    "resolve_edb_mode",
+]
+
+#: Implementation modes shared by every back-end: ``"fast"`` runs the
+#: vectorized columnar operators and the array-backed ORAM, ``"reference"``
+#: runs the original pure-Python row-at-a-time path.  The two are
+#: observationally identical -- same sync times, update volumes, query
+#: answers and leakage -- which ``tests/test_edb_differential.py`` enforces.
+EDB_MODES = ("fast", "reference")
+
+
+def resolve_edb_mode(mode: str) -> str:
+    """Validate (and normalize) an EDB implementation-mode flag."""
+    normalized = mode.lower()
+    if normalized not in EDB_MODES:
+        raise ValueError(f"edb mode must be one of {EDB_MODES}, got {mode!r}")
+    return normalized
 
 
 @dataclass(frozen=True)
@@ -86,6 +109,11 @@ class EncryptedDatabase:
         faster for the 43,200-step experiments.
     rng:
         Random generator used by back-ends that inject DP noise.
+    mode:
+        ``"fast"`` (default) evaluates queries with the vectorized columnar
+        operators; ``"reference"`` keeps the original row-at-a-time
+        interpreter.  Both modes are bit-identical in every observable
+        (answers, costs, update pattern, leakage).
     """
 
     def __init__(
@@ -95,14 +123,18 @@ class EncryptedDatabase:
         query_leakage_class: LeakageClass,
         simulate_encryption: bool = False,
         rng: np.random.Generator | None = None,
+        mode: str = "fast",
     ) -> None:
         self._cost_model = CostModel(cost_parameters)
         self._scheme_name = scheme_name
         self._query_leakage_class = query_leakage_class
         self._simulate_encryption = simulate_encryption
         self._rng = rng if rng is not None else np.random.default_rng()
+        self._mode = resolve_edb_mode(mode)
         self._cipher = RecordCipher() if simulate_encryption else None
-        self._executor = PlaintextExecutor()
+        self._executor = (
+            ColumnarExecutor() if self._mode == "fast" else PlaintextExecutor()
+        )
         self._ciphertexts: dict[str, list[EncryptedRecord]] = {}
         self._table_totals: dict[str, int] = {}
         self._table_dummies: dict[str, int] = {}
@@ -166,6 +198,11 @@ class EncryptedDatabase:
     def scheme_name(self) -> str:
         """Name of the simulated scheme."""
         return self._scheme_name
+
+    @property
+    def edb_mode(self) -> str:
+        """Implementation mode: ``"fast"`` or ``"reference"``."""
+        return self._mode
 
     @property
     def is_setup(self) -> bool:
@@ -264,17 +301,13 @@ class EncryptedDatabase:
             self._table_totals[table] = self._table_totals.get(table, 0) + len(rows)
             self._table_dummies[table] = self._table_dummies.get(table, 0) + table_dummies
             if self._cipher is not None:
-                encrypted = [self._cipher.encrypt(row) for row in rows]
+                encrypted = self._cipher.encrypt_many(rows)
                 self._ciphertexts.setdefault(table, []).extend(encrypted)
             self._on_records_stored(table, rows)
 
         bytes_added = self._cost_model.storage_bytes(num_records)
         self._storage_bytes += bytes_added
-        duration = (
-            self._cost_model.setup_cost(num_records)
-            if is_setup
-            else self._cost_model.update_cost(num_records)
-        )
+        duration = self._cost_model.ingest_cost(num_records, is_setup=is_setup)
         result = UpdateResult(
             time=time,
             records_added=num_records - dummies,

@@ -99,6 +99,18 @@ class CostModel:
         """Simulated seconds to run the Update protocol on ``num_records``."""
         return self.parameters.update_base + self.parameters.update_per_record * num_records
 
+    def ingest_cost(self, num_records: int, *, is_setup: bool = False) -> float:
+        """Simulated seconds of one Setup/Update invocation over ``num_records``.
+
+        This is the single charging point for both the per-record and the
+        batched ingestion paths: a batch of ``n`` records in one invocation
+        costs exactly what the sequential path charged for the same ``γ_t``
+        (one ``update_base`` round-trip plus ``n`` per-record charges), so
+        switching to ``insert_many`` can never change the simulated QET or
+        update-duration observables.
+        """
+        return self.setup_cost(num_records) if is_setup else self.update_cost(num_records)
+
     def storage_bytes(self, num_records: int) -> float:
         """Server-side bytes occupied by ``num_records`` encrypted records."""
         return self.parameters.record_storage_bytes * num_records

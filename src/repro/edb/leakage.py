@@ -31,6 +31,7 @@ __all__ = [
     "leakage_group_table",
     "classify_scheme",
     "compatible_with_dpsync",
+    "update_pattern_observables",
 ]
 
 
@@ -112,6 +113,24 @@ class LeakageProfile:
         if self.reveals_access_pattern:
             return False
         return self.query_class in (LeakageClass.L0, LeakageClass.LDP)
+
+
+def update_pattern_observables(update_history) -> tuple[tuple[int, int], ...]:
+    """Canonical server-observable update pattern of a run: ``((t, |γ_t|), ...)``.
+
+    Takes any sequence of Setup/Update outcomes exposing ``time`` and
+    ``total_added`` (e.g. :attr:`repro.edb.base.EncryptedDatabase.update_history`)
+    and projects it to exactly what a P4-compliant update protocol leaks: the
+    invocation times and volumes, nothing else.  Batched ingestion is
+    accounted identically to sequential ingestion -- one ``(time, volume)``
+    pair per Update invocation regardless of how the records were moved --
+    so the fast and reference EDB paths produce equal observables by
+    construction; the differential suite compares runs through this
+    projection.
+    """
+    return tuple(
+        (int(entry.time), int(entry.total_added)) for entry in update_history
+    )
 
 
 def leakage_group_table() -> dict[LeakageClass, list[str]]:

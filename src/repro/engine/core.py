@@ -47,6 +47,10 @@ class EngineStats:
     ticks_delivered: int = 0
     stale_skipped: int = 0
     periodic_fired: int = 0
+    #: Stream wake-ups that carried an arrival record.  Together with
+    #: ``ticks_delivered`` this separates real ingestion work from pure
+    #: self-scheduled wake-ups (timer/flush boundaries).
+    arrivals_delivered: int = 0
 
 
 @dataclass
@@ -208,6 +212,7 @@ class Engine:
         update: Record | None = None
         if stream.pending is not None and stream.pending[0] == time:
             update = stream.pending[1]
+            self._stats.arrivals_delivered += 1
             self._pull_arrival(stream)
         stream.deliver(time, update)
         stream.last_tick = time

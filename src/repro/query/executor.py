@@ -64,6 +64,13 @@ class PlaintextExecutor:
     """Interprets relational plans over named collections of records."""
 
     tables: dict[str, list[Record]] = field(default_factory=dict)
+    #: Lowered/rewritten plans keyed by (query, rewrite): queries are frozen
+    #: dataclasses, so the schedule's repeated issuances share one plan
+    #: instead of re-running the rewriting every query time.  Excluded from
+    #: init/repr/eq -- it is a derived cache, not executor state.
+    _plan_cache: dict[tuple[Query, bool], PlanNode] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def register(self, table: str, records: Iterable[Record]) -> None:
         """Register (replace) the contents of ``table``."""
@@ -77,18 +84,29 @@ class PlaintextExecutor:
         """Number of rows currently registered for ``table``."""
         return len(self.tables.get(table, []))
 
+    def _plan_for(self, query: Query, rewrite: bool) -> PlanNode:
+        try:
+            plan = self._plan_cache.get((query, rewrite))
+        except TypeError:
+            # Queries holding unhashable predicate values (e.g. a list in an
+            # EqualityPredicate) executed fine before the cache existed; they
+            # simply re-lower every time.
+            return rewrite_for_dummies(query) if rewrite else query.to_plan()
+        if plan is None:
+            plan = rewrite_for_dummies(query) if rewrite else query.to_plan()
+            self._plan_cache[(query, rewrite)] = plan
+        return plan
+
     def execute(self, query: Query, rewrite: bool = False) -> Answer:
         """Execute ``query``, optionally applying dummy-aware rewriting."""
-        plan = rewrite_for_dummies(query) if rewrite else query.to_plan()
-        answer, _ = self.execute_plan(plan)
+        answer, _ = self.execute_plan(self._plan_for(query, rewrite))
         return answer
 
     def execute_with_stats(
         self, query: Query, rewrite: bool = False
     ) -> tuple[Answer, ExecutionStats]:
         """Execute ``query`` and return the answer plus work counters."""
-        plan = rewrite_for_dummies(query) if rewrite else query.to_plan()
-        return self.execute_plan(plan)
+        return self.execute_plan(self._plan_for(query, rewrite))
 
     def execute_plan(self, plan: PlanNode) -> tuple[Answer, ExecutionStats]:
         """Interpret a plan; returns (answer, stats)."""

@@ -88,14 +88,23 @@ def make_backend(
     name: str,
     seed: int = 0,
     crypte_query_epsilon: float = DEFAULT_CRYPTE_QUERY_EPSILON,
+    mode: str = "fast",
 ) -> Callable[[], EncryptedDatabase]:
-    """A factory for one of the two evaluated back-ends (``"oblidb"`` / ``"crypte"``)."""
+    """A factory for one of the two evaluated back-ends (``"oblidb"`` / ``"crypte"``).
+
+    ``mode`` selects the EDB implementation (see
+    :data:`repro.edb.base.EDB_MODES`): ``"fast"`` is the vectorized columnar
+    path, ``"reference"`` the original row-at-a-time one; both produce
+    bit-identical runs at a fixed seed.
+    """
     key = name.lower()
     if key in ("oblidb", "obli-db", "l0"):
-        return lambda: ObliDB(rng=np.random.default_rng(seed + 1))
+        return lambda: ObliDB(rng=np.random.default_rng(seed + 1), mode=mode)
     if key in ("crypte", "crypt-epsilon", "crypteps", "ldp"):
         return lambda: CryptEpsilon(
-            query_epsilon=crypte_query_epsilon, rng=np.random.default_rng(seed + 2)
+            query_epsilon=crypte_query_epsilon,
+            rng=np.random.default_rng(seed + 2),
+            mode=mode,
         )
     raise KeyError(f"unknown back-end {name!r}; expected 'oblidb' or 'crypte'")
 
@@ -133,6 +142,7 @@ class CellSpec:
     backend_seed: int = 0
     workload_seed: int = 2020
     crypte_query_epsilon: float = DEFAULT_CRYPTE_QUERY_EPSILON
+    edb_mode: str = "fast"
     scenario_kwargs: tuple[tuple[str, float], ...] = ()
     cell_id: str = ""
 
@@ -259,6 +269,7 @@ def run_cell(spec: CellSpec) -> RunResult:
             spec.backend,
             seed=spec.backend_seed,
             crypte_query_epsilon=spec.crypte_query_epsilon,
+            mode=spec.edb_mode,
         ),
         workloads=workloads,
         queries=_queries_for(spec),
@@ -700,6 +711,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--artifact-dir", default=None)
+    parser.add_argument(
+        "--edb-mode",
+        default="fast",
+        choices=["fast", "reference"],
+        help="EDB implementation: vectorized fast path or row-at-a-time reference",
+    )
     args = parser.parse_args(argv)
 
     parameters: dict[str, Sequence] = {
@@ -713,6 +730,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         backends=(args.backend,),
         scenarios=(args.scenario,),
         parameters=parameters,
+        base=CellSpec(strategy="dp-timer", edb_mode=args.edb_mode),
         base_seed=args.seed,
     )
     runner = GridRunner(

@@ -143,3 +143,16 @@ class TestEngine:
         stats = engine.run()
         assert stats.ticks_delivered == 1
         assert stats.events_processed <= 3
+
+    def test_arrivals_delivered_counts_only_arrival_wakeups(self):
+        """Self-scheduled wake-ups do not count as arrivals."""
+        engine = Engine(horizon=10)
+        engine.add_stream(
+            "T",
+            lambda t, u: None,
+            arrivals=[(2, rec(2)), (5, rec(5))],
+            next_self_event=lambda now: now + 3,
+        )
+        stats = engine.run()
+        assert stats.arrivals_delivered == 2
+        assert stats.ticks_delivered > stats.arrivals_delivered
