@@ -84,6 +84,7 @@ def test_oram_batched_flush_vs_per_record():
     payload = {
         "flush_size": FLUSH_SIZE,
         "flushes": FLUSHES,
+        "modes_compared": ["reference", "fast"],
         "per_record_seconds": round(reference_seconds, 4),
         "batched_seconds": round(fast_seconds, 4),
         "speedup": round(reference_seconds / max(fast_seconds, 1e-9), 2),
@@ -132,6 +133,7 @@ def _ingest_benchmark(backend_name: str, make_edb):
     assert len(batched.update_history) == FLUSHES + 1
     return {
         "backend": backend_name,
+        "edb_mode": "fast",
         "records": len(per_flush),
         "per_record_seconds": round(per_record_seconds, 4),
         "batched_seconds": round(batched_seconds, 4),
@@ -196,6 +198,7 @@ def test_end_to_end_fast_vs_reference_both_backends():
             {
                 "backend": backend,
                 "scale": EDB_SCALE,
+                "modes_compared": ["reference", "fast"],
                 "reference_seconds": round(reference_seconds, 4),
                 "fast_seconds": round(fast_seconds, 4),
                 "speedup": round(reference_seconds / max(fast_seconds, 1e-9), 2),

@@ -117,6 +117,7 @@ def test_engine_speedup_over_legacy_loop(bench_settings):
         "records_per_table": RECORDS_PER_TABLE,
         "strategy": "dp-timer",
         "timer_period": TIMER_PERIOD,
+        "edb_mode": "fast",
         "legacy_seconds": round(legacy_seconds, 4),
         "engine_seconds": round(engine_seconds, 4),
         "speedup": round(speedup, 2),
@@ -180,6 +181,7 @@ def test_edb_fast_path_speedup_figure2(bench_settings):
         "scenario": "taxi-june",
         "scale": FIG2_SCALE,
         "query_interval": 360,
+        "modes_compared": ["reference", "fast"],
         "reference_seconds": round(reference_seconds, 4),
         "fast_seconds": round(fast_seconds, 4),
         "speedup": round(speedup, 2),

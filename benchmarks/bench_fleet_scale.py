@@ -1,0 +1,204 @@
+"""Fleet/shard scaling benchmark: throughput vs shard count.
+
+Emits ``BENCH_fleet.json`` at the repository root with two sections:
+
+1. **scatter_gather_equality** -- a million-user-shaped record stream is
+   ingested into a plain ObliDB and into :class:`ShardRouter`\\ s with 2 and
+   4 shards; at every checkpoint the gathered count / group-by / join-count
+   answers must equal the unsharded answers *exactly*, while the gathered
+   (simulated) QET shrinks with the shard count.
+2. **end_to_end** -- the same ``million-users`` scenario run end to end
+   through the grid runner (dp-timer, 2 owners) at ``n_shards`` in {1, 2, 4}:
+   per-cell results must be identical except for the (smaller) simulated
+   QETs, and the section records ingest wall-clock, records/second, and the
+   per-shard-count mean QET whose ratio is the throughput-scaling headline.
+
+The acceptance floor (simulated mean-QET speedup of the 4-shard run over the
+unsharded run) defaults to 2x; CI smoke runs at a lower scale override it via
+``REPRO_BENCH_MIN_FLEET_QET_SPEEDUP``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import emit_report, merge_bench_json
+from repro.query.sql import parse_query
+from repro.simulation.runner import (
+    CellSpec,
+    make_backend,
+    make_sharded_backend,
+    run_cell,
+)
+from repro.workload.scenarios import build_scenario, scenario_queries
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+FLEET_SCALE = float(os.environ.get("REPRO_BENCH_FLEET_SCALE", "0.6"))
+MIN_QET_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_FLEET_QET_SPEEDUP", "2.0"))
+SHARD_COUNTS = (1, 2, 4)
+N_OWNERS = int(os.environ.get("REPRO_BENCH_FLEET_OWNERS", "2"))
+
+
+def _queries():
+    """The scenario's own Q1/Q2 plus a join shape for the scatter-gather check."""
+    return scenario_queries("million-users") + [
+        parse_query(
+            "SELECT COUNT(*) FROM Users INNER JOIN Users ON Users.region = Users.region",
+            label="Q3",
+        ),
+    ]
+
+
+def _make_edb(n_shards: int):
+    """Exactly the back-ends grid runs use, so both sections measure the same
+    construction path (shard 0 seeded like the unsharded back-end)."""
+    if n_shards == 1:
+        return make_backend("oblidb", seed=1)()
+    return make_sharded_backend("oblidb", n_shards, seed=1)()
+
+
+def test_scatter_gather_equality_and_query_scaling(bench_settings):
+    """Merged answers equal unsharded answers at every checkpoint."""
+    workload = build_scenario("million-users", seed=7, scale=min(FLEET_SCALE, 0.5))[
+        "Users"
+    ]
+    records = [record for _, record in workload.arrivals()]
+    queries = _queries()
+
+    edbs = {k: _make_edb(k) for k in SHARD_COUNTS}
+    for edb in edbs.values():
+        edb.setup([])
+
+    checkpoint_every = max(1, len(records) // 12)
+    checkpoints = 0
+    qet_sums = {k: 0.0 for k in SHARD_COUNTS}
+    for index, record in enumerate(records, start=1):
+        for edb in edbs.values():
+            edb.insert_many({"Users": [record]}, time=index)
+        if index % checkpoint_every == 0 or index == len(records):
+            checkpoints += 1
+            for query in queries:
+                expected = edbs[1].query(query, time=index)
+                for k in SHARD_COUNTS[1:]:
+                    gathered = edbs[k].query(query, time=index)
+                    assert gathered.answer == expected.answer, (
+                        f"{query.name} diverged at checkpoint {index} with {k} shards"
+                    )
+                    qet_sums[k] += gathered.qet_seconds
+                qet_sums[1] += expected.qet_seconds
+
+    mean_qets = {k: qet_sums[k] / (checkpoints * len(queries)) for k in SHARD_COUNTS}
+    payload = {
+        "benchmark": "scatter_gather_equality",
+        "backend": "oblidb",
+        "edb_mode": "fast",
+        "records": len(records),
+        "checkpoints": checkpoints,
+        "queries": [q.name for q in queries],
+        "answers_equal_at_every_checkpoint": True,
+        "mean_qet_seconds_by_shards": {str(k): round(v, 4) for k, v in mean_qets.items()},
+    }
+    merge_bench_json(OUTPUT_PATH, "scatter_gather_equality", payload)
+
+    emit_report(
+        "fleet_scatter_gather",
+        f"Scatter-gather over {len(records)} million-user records, "
+        f"{checkpoints} checkpoints x {len(queries)} queries\n\n"
+        + "\n".join(
+            f"{k} shard(s): mean simulated QET {mean_qets[k]:8.4f} s"
+            for k in SHARD_COUNTS
+        )
+        + "\nanswers equal to the unsharded back-end at every checkpoint",
+    )
+    # More shards never slow a linear scan; the join decomposition makes the
+    # gathered Q3 dramatically cheaper than the quadratic unsharded charge.
+    assert mean_qets[4] < mean_qets[2] < mean_qets[1]
+
+
+def test_fleet_end_to_end_throughput(bench_settings):
+    """End-to-end dp-timer fleet runs at 1 / 2 / 4 shards."""
+    base = CellSpec(
+        strategy="dp-timer",
+        backend="oblidb",
+        scenario="million-users",
+        scale=FLEET_SCALE,
+        query_interval=720,
+        n_owners=N_OWNERS,
+        sim_seed=13,
+        backend_seed=1,
+        workload_seed=7,
+    )
+    run_cell(dataclasses.replace(base, horizon=10))  # warm the scenario cache
+
+    rows = []
+    reference_dict = None
+    reference_qets = None
+    for n_shards in SHARD_COUNTS:
+        spec = dataclasses.replace(base, n_shards=n_shards)
+        start = time.perf_counter()
+        result = run_cell(spec)
+        wall_seconds = time.perf_counter() - start
+
+        payload_dict = result.to_dict()
+        qets = [t.pop("qet_seconds") for t in payload_dict["query_traces"]]
+        if reference_dict is None:
+            reference_dict, reference_qets = payload_dict, qets
+        else:
+            # Sharding may change nothing but the simulated query time.
+            assert payload_dict == reference_dict, (
+                f"{n_shards}-shard run diverged beyond QET"
+            )
+            assert all(s <= r for s, r in zip(qets, reference_qets))
+
+        total_records = result.final_time_point().logical_size
+        mean_qet = sum(qets) / max(len(qets), 1)
+        rows.append(
+            {
+                "n_shards": n_shards,
+                "n_owners": N_OWNERS,
+                "wall_seconds": round(wall_seconds, 4),
+                "records": int(total_records),
+                "records_per_second": round(total_records / max(wall_seconds, 1e-9), 1),
+                "mean_simulated_qet_seconds": round(mean_qet, 4),
+                "sync_count": result.sync_count,
+                "total_update_volume": result.total_update_volume,
+            }
+        )
+
+    qet_by_shards = {row["n_shards"]: row["mean_simulated_qet_seconds"] for row in rows}
+    qet_speedup = qet_by_shards[1] / max(qet_by_shards[4], 1e-9)
+    payload = {
+        "benchmark": "fleet_end_to_end",
+        "strategy": "dp-timer",
+        "backend": "oblidb",
+        "edb_mode": "fast",
+        "scenario": "million-users",
+        "scale": FLEET_SCALE,
+        "shard_counts": list(SHARD_COUNTS),
+        "results": rows,
+        "qet_speedup_4_shards": round(qet_speedup, 2),
+        "identical_except_qet": True,
+    }
+    merge_bench_json(OUTPUT_PATH, "end_to_end", payload)
+
+    emit_report(
+        "fleet_end_to_end",
+        f"Fleet end-to-end (dp-timer, {N_OWNERS} owners, million-users @ "
+        f"scale {FLEET_SCALE})\n\n"
+        + "\n".join(
+            f"{row['n_shards']} shard(s): wall {row['wall_seconds']:7.2f} s, "
+            f"{row['records_per_second']:8.1f} rec/s ingest, "
+            f"mean simulated QET {row['mean_simulated_qet_seconds']:8.4f} s"
+            for row in rows
+        )
+        + f"\nsimulated QET speedup at 4 shards: {qet_speedup:.2f}x "
+        f"(floor {MIN_QET_SPEEDUP}x); results identical except QET",
+    )
+
+    assert qet_speedup >= MIN_QET_SPEEDUP, (
+        f"expected >= {MIN_QET_SPEEDUP}x simulated QET speedup at 4 shards, "
+        f"measured {qet_speedup:.2f}x"
+    )

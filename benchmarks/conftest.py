@@ -84,6 +84,29 @@ def bench_settings() -> dict:
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 
+def bench_environment(**extra) -> dict:
+    """Hardware + mode flags stamped into every ``BENCH_*.json`` payload.
+
+    Wall-clock ratios are meaningless without knowing what they ran on: a
+    1-CPU container cannot show process-pool speedups, and a ``reference``
+    EDB mode changes every absolute number.  Benchmarks pass payload-specific
+    mode flags through ``extra``.
+    """
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        affinity = os.cpu_count() or 1
+    env = {
+        "cpu_count": os.cpu_count(),
+        "affinity_cpus": affinity,
+        "bench_scale": BENCH_SCALE,
+        "bench_seed": BENCH_SEED,
+        "bench_workers": BENCH_WORKERS,
+    }
+    env.update(extra)
+    return env
+
+
 def merge_bench_json(path: Path, section: str, payload) -> None:
     """Update one named section of a BENCH_*.json file, preserving the rest.
 
@@ -91,9 +114,15 @@ def merge_bench_json(path: Path, section: str, payload) -> None:
     ``BENCH_engine.json`` holds both the engine-vs-legacy and the EDB
     fast-path comparisons), so each test merges rather than overwrites; an
     unreadable existing file is replaced instead of crashing the bench.
+    Every dict payload is stamped with :func:`bench_environment` unless the
+    benchmark recorded its own.
     """
     import json
 
+    if isinstance(payload, dict) and "environment" not in payload:
+        payload = {**payload, "environment": bench_environment()}
+    elif isinstance(payload, list):
+        payload = {"results": payload, "environment": bench_environment()}
     merged: dict = {}
     if path.exists():
         try:

@@ -28,6 +28,8 @@ The subpackages are organised as:
   execution and a small SQL front-end;
 * :mod:`repro.engine` -- the scheduled-event core the simulator runs on
   (owners wake only at arrivals and self-scheduled times);
+* :mod:`repro.fleet` -- multi-owner deployments: the fleet coordinator over
+  a (possibly sharded, see :class:`repro.edb.router.ShardRouter`) EDB;
 * :mod:`repro.workload` -- growing databases, arrival processes and the NYC
   taxi workloads;
 * :mod:`repro.simulation` -- the experiment harness behind every table and
@@ -60,9 +62,11 @@ from repro.edb import (
     PathORAM,
     Record,
     Schema,
+    ShardRouter,
     make_dummy_record,
 )
 from repro.engine import Engine, EventScheduler
+from repro.fleet import Deployment
 from repro.query import (
     CountQuery,
     GroupByCountQuery,
@@ -92,6 +96,7 @@ __all__ = [
     "CryptEpsilon",
     "DPANTStrategy",
     "DPSync",
+    "Deployment",
     "DPTimerStrategy",
     "EncryptedDatabase",
     "EndToEndConfig",
@@ -114,6 +119,7 @@ __all__ = [
     "SETStrategy",
     "SURStrategy",
     "Schema",
+    "ShardRouter",
     "Simulation",
     "SimulationConfig",
     "SyncDecision",

@@ -56,13 +56,26 @@ class Analyst:
         but unregistered queries are registered on first sight (bootstrapped
         from the provided logical tables).  Uncovered shapes fall back to a
         full rescan.
+    maintained_tables:
+        Optional set of table names (or a zero-argument callable producing
+        one) whose inserts actually flow into ``truth_source``.  A query
+        referencing any table outside this set is never lazily registered on
+        the maintained state: registration would bootstrap it correctly but
+        then miss every later insert of the foreign table, silently freezing
+        part of the ground truth (the multi-table-join facade bug).  Such
+        queries always take the full-rescan path over the provided logical
+        tables instead.  ``None`` (the default) places no restriction.
     """
 
     def __init__(
-        self, edb: EncryptedDatabase, truth_source: IncrementalTruth | None = None
+        self,
+        edb: EncryptedDatabase,
+        truth_source: IncrementalTruth | None = None,
+        maintained_tables: Callable[[], set[str]] | set[str] | None = None,
     ) -> None:
         self._edb = edb
         self._truth_source = truth_source
+        self._maintained_tables = maintained_tables
         self._observations: list[AnalystObservation] = []
 
     @property
@@ -118,12 +131,24 @@ class Analyst:
                 f"query {query.name!r} is not covered by the maintained "
                 "aggregates and no logical tables were provided"
             )
-        if source is not None and source.can_maintain(query):
+        if (
+            source is not None
+            and source.can_maintain(query)
+            and self._covers_maintained_tables(query)
+        ):
             # First sight of a maintainable query: bootstrap from the current
             # logical state, then maintain deltas from here on.
             source.register(query, tables)
             return source.answer(query)
         return ground_truth(query, tables)
+
+    def _covers_maintained_tables(self, query: Query) -> bool:
+        restriction = self._maintained_tables
+        if restriction is None:
+            return True
+        if callable(restriction):
+            restriction = restriction()
+        return set(query.tables) <= set(restriction)
 
     @property
     def observations(self) -> tuple[AnalystObservation, ...]:

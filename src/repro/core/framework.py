@@ -14,12 +14,20 @@ exposes the small API a downstream user needs:
 >>> answer = dpsync.query("SELECT COUNT(*) FROM events")
 
 Multiple ``DPSync`` instances (one per table) may share a single EDB, which
-is how the paper's join workload (Q3) is evaluated.
+is how the paper's join workload (Q3) is evaluated; call
+:meth:`DPSync.register_sibling` on each so join ground truth sees the whole
+logical database.
+
+Since the fleet refactor, ``DPSync`` is a thin single-owner wrapper over
+:class:`repro.fleet.Deployment` -- the coordinator that also scales to N
+owners over a :class:`~repro.edb.router.ShardRouter` with K shards.  The
+fleet differential tests pin this wrapper (``n_owners=1``, ``n_shards=1``)
+bit-identical to the original facade.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -31,6 +39,7 @@ from repro.core.strategies.registry import make_strategy
 from repro.core.update_pattern import UpdatePattern
 from repro.edb.base import EncryptedDatabase
 from repro.edb.records import Record, Schema, make_dummy_record
+from repro.fleet import Deployment
 from repro.query.ast import Query
 from repro.query.incremental import IncrementalTruth
 from repro.query.sql import parse_query
@@ -83,12 +92,13 @@ class DPSync:
                 theta=theta,
                 flush=flush,
             )
-        self._owner = Owner(schema=schema, strategy=self._strategy, edb=edb)
         # Ground-truth aggregates are maintained incrementally: each received
         # record applies an O(1) delta, so query() never rescans the logical
         # table for the paper's count/group-by/join shapes.
-        self._truth = IncrementalTruth()
-        self._analyst = Analyst(edb, truth_source=self._truth)
+        self._deployment = Deployment(edb, truth_source=IncrementalTruth())
+        self._owner = self._deployment.add_owner(
+            schema.name, schema, self._strategy
+        )
         self._started = False
 
     # -- record helpers -----------------------------------------------------------
@@ -109,11 +119,7 @@ class DPSync:
         if self._started:
             raise RuntimeError("DPSync instance already started")
         records = [self._coerce(r, arrival_time=0) for r in initial_records]
-        self._owner.initialize(records)
-        # Queries registered lazily (the usual path) bootstrap from the full
-        # logical table, so this ingest only matters for queries registered
-        # on the truth source before start().
-        self._truth.ingest(self._schema.name, records)
+        self._deployment.start({self._schema.name: records})
         self._started = True
 
     def receive(
@@ -128,10 +134,7 @@ class DPSync:
         if not self._started:
             raise RuntimeError("call start() before receive()")
         record = None if update is None else self._coerce(update, arrival_time=time)
-        decision = self._owner.tick(time, record)
-        if record is not None:
-            self._truth.ingest_one(self._schema.name, record)
-        return decision
+        return self._deployment.receive(self._schema.name, time, record)
 
     def query(self, query: Query | str, time: int | None = None) -> AnalystObservation:
         """Run a query (AST object or SQL string) through the Query protocol."""
@@ -139,10 +142,30 @@ class DPSync:
             raise RuntimeError("call start() before query()")
         parsed = parse_query(query) if isinstance(query, str) else query
         at = time if time is not None else self._owner.current_time
-        # Resolved only when the query is not covered by the maintained
-        # aggregates (first sight of a query, or an unmaintainable shape).
-        logical_tables = lambda: {self._schema.name: self._owner.logical_database}
-        return self._analyst.query(parsed, logical_tables, time=at)
+        return self._deployment.query(parsed, time=at)
+
+    def register_sibling(self, sibling: "DPSync") -> None:
+        """Expose a sibling instance's table to this instance's ground truth.
+
+        When several ``DPSync`` facades share one EDB (one per table, as in
+        the paper's join experiment), each facade only ingests its own
+        records -- so a join query's logical answer would see a partial
+        database.  Registering the sibling makes its live logical table part
+        of this instance's ground-truth view; join queries then rescan the
+        complete logical database instead of freezing on a one-sided
+        maintained aggregate.
+        """
+        if sibling is self:
+            raise ValueError("an instance cannot be its own sibling")
+        self.register_table_source(
+            sibling.schema.name, lambda: sibling.owner.logical_database
+        )
+
+    def register_table_source(
+        self, table: str, source: Callable[[], Sequence[Record]]
+    ) -> None:
+        """Expose an arbitrary external logical table to ground truth."""
+        self._deployment.register_table_source(table, source)
 
     # -- state ------------------------------------------------------------------------
 
@@ -152,6 +175,11 @@ class DPSync:
         return self._schema
 
     @property
+    def deployment(self) -> Deployment:
+        """The underlying (single-owner) fleet deployment."""
+        return self._deployment
+
+    @property
     def owner(self) -> Owner:
         """The owner component."""
         return self._owner
@@ -159,7 +187,7 @@ class DPSync:
     @property
     def analyst(self) -> Analyst:
         """The analyst component."""
-        return self._analyst
+        return self._deployment.analyst
 
     @property
     def strategy(self) -> SyncStrategy:

@@ -30,15 +30,27 @@ class Owner:
     strategy:
         The synchronization strategy (``Sync`` of Definition 1).
     edb:
-        The encrypted database the owner outsources to.  Several owners (one
-        per table) may share one EDB instance, as in the paper's join
-        experiment.
+        The encrypted database the owner outsources to.  Several owners may
+        share one EDB instance: one owner per table as in the paper's join
+        experiment, or several owners of the *same* table as members of a
+        :class:`~repro.fleet.Deployment` fleet, each with its own strategy,
+        noise stream and update-pattern transcript.
+    name:
+        Label distinguishing this owner within a fleet (defaults to the
+        table name, which is unique in single-owner-per-table deployments).
     """
 
-    def __init__(self, schema: Schema, strategy: SyncStrategy, edb: EncryptedDatabase) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        strategy: SyncStrategy,
+        edb: EncryptedDatabase,
+        name: str | None = None,
+    ) -> None:
         self._schema = schema
         self._strategy = strategy
         self._edb = edb
+        self._name = name if name is not None else schema.name
         self._logical: list[Record] = []
         self._pattern = UpdatePattern()
         self._initialized = False
@@ -92,6 +104,11 @@ class Owner:
         return decision
 
     # -- state -------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Fleet-member label of this owner (table name when not in a fleet)."""
+        return self._name
 
     @property
     def schema(self) -> Schema:

@@ -18,6 +18,9 @@ framework end to end this package provides the EDB side of the system:
   queries with differentially-private noise.
 * :mod:`repro.edb.cost_model` -- the query-execution-time model calibrated to
   the paper's testbed.
+* :mod:`repro.edb.router` -- :class:`ShardRouter`, hash-partitioning one
+  logical EDB across K independent back-end shards with scatter-gather
+  queries and aggregated update-pattern leakage.
 """
 
 from repro.edb.records import (
@@ -45,6 +48,7 @@ from repro.edb.base import (
 from repro.edb.oram import PathORAM, ReferencePathORAM, make_oram
 from repro.edb.oblidb import ObliDB
 from repro.edb.crypte import CryptEpsilon
+from repro.edb.router import ShardRouter
 from repro.edb.cost_model import CostModel, CostParameters
 
 __all__ = [
@@ -65,6 +69,7 @@ __all__ = [
     "ReferencePathORAM",
     "Schema",
     "SchemeInfo",
+    "ShardRouter",
     "UpdateResult",
     "classify_scheme",
     "compatible_with_dpsync",

@@ -1,0 +1,324 @@
+"""Hash-partitioned sharding of the outsourced database.
+
+A :class:`ShardRouter` presents the same Setup/Update/Query protocol surface
+as a single :class:`~repro.edb.base.EncryptedDatabase` while hash-partitioning
+each table's records across K independent back-end shards (each with its own
+ORAM, cost model and RNG).  Owners and analysts talk to the router exactly as
+they would to one EDB; the router
+
+* routes every record by a stable hash of its per-table arrival ordinal
+  (deterministic for a fixed ``route_seed``, uniform across shards, and
+  independent of record *content* so dummy padding spreads like real data);
+* runs Setup on every shard (each shard must be initialized before it can
+  accept Updates), then forwards each Update to only the shards that
+  receive records (an empty per-shard *update* would itself be an extra
+  observable protocol invocation) and aggregates the outcome into one
+  :class:`~repro.edb.base.UpdateResult` whose duration is the *maximum* over
+  the shards touched -- shards are independent machines that ingest in
+  parallel;
+* answers queries by scatter-gather (:mod:`repro.query.scatter`): partial
+  counts / group histograms / per-side join histograms per shard, merged
+  deterministically, with the gathered QET again the per-shard maximum.
+  On exact back-ends the gathered answers equal the unsharded ones; on an
+  L-DP back-end every shard injects its own noise, so gathered answers sum
+  K independent draws (see :mod:`repro.query.scatter`);
+* exposes the aggregated update transcript through :attr:`update_history`,
+  so :func:`repro.edb.leakage.update_pattern_observables` projects a sharded
+  deployment to the same ``(time, volume)`` leakage as an unsharded one,
+  while :meth:`per_shard_observables` gives the finer per-shard view.
+
+With ``K = 1`` every call is forwarded verbatim to the single shard, so a
+one-shard router is byte-identical to the unrouted back-end in every
+observable (``tests/test_shard_router.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping, Sequence
+
+from repro.edb.base import EncryptedDatabase, QueryResult, UpdateResult
+from repro.edb.cost_model import CostModel, UnsupportedQueryError
+from repro.edb.leakage import LeakageProfile, update_pattern_observables
+from repro.edb.records import Record
+from repro.query.ast import GroupByCountQuery, JoinCountQuery, Query
+from repro.query.scatter import (
+    join_count_from_histograms,
+    join_side_probes,
+    merge_grouped_counts,
+    merge_scalar_counts,
+)
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Route one logical EDB across K independent back-end shards.
+
+    Parameters
+    ----------
+    shards:
+        The already-constructed back-end shards.  They should be of the same
+        scheme (the router reports shard 0's scheme name, cost model and
+        leakage profile as its own).
+    route_seed:
+        Seed folded into the routing hash; two routers with equal seeds and
+        shard counts route identically.
+    """
+
+    def __init__(self, shards: Sequence[EncryptedDatabase], route_seed: int = 0) -> None:
+        shards = list(shards)
+        if not shards:
+            raise ValueError("a ShardRouter needs at least one shard")
+        self._shards = shards
+        self._route_seed = int(route_seed)
+        self._ordinals: dict[str, int] = {}
+        self._update_history: list[UpdateResult] = []
+
+    # -- topology -----------------------------------------------------------
+
+    @property
+    def shards(self) -> tuple[EncryptedDatabase, ...]:
+        """The back-end shards, in shard-index order."""
+        return tuple(self._shards)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards records are partitioned across."""
+        return len(self._shards)
+
+    def shard_index(self, table: str, ordinal: int) -> int:
+        """Shard receiving the ``ordinal``-th record ever routed to ``table``.
+
+        A pure function of ``(route_seed, table, ordinal)``: routing is a
+        partition by construction (exactly one index per record) and stable
+        across runs, which the shard-router property tests rely on.
+        """
+        if len(self._shards) == 1:
+            return 0
+        key = f"{self._route_seed}:{table}:{ordinal}".encode()
+        digest = hashlib.blake2s(key, digest_size=8).digest()
+        return int.from_bytes(digest, "big") % len(self._shards)
+
+    # -- protocol surface ---------------------------------------------------
+
+    def setup(self, records: Iterable[Record], time: int = 0) -> UpdateResult:
+        """Run Setup on every shard (each must be initialized, even if empty)."""
+        if len(self._shards) == 1:
+            result = self._shards[0].setup(records, time=time)
+            self._update_history.append(result)
+            return result
+        parts = self._partition(self._group(records))
+        results = [
+            shard.setup([r for rows in part.values() for r in rows], time=time)
+            for shard, part in zip(self._shards, parts)
+        ]
+        return self._aggregate(results, time)
+
+    def update(self, records: Iterable[Record], time: int) -> UpdateResult:
+        """Run Update on the shards receiving records (empty γ goes to shard 0)."""
+        if len(self._shards) == 1:
+            result = self._shards[0].update(records, time=time)
+            self._update_history.append(result)
+            return result
+        parts = self._partition(self._group(records))
+        return self._scatter_update(parts, time)
+
+    def insert_many(
+        self, batches: Mapping[str, Sequence[Record]], time: int
+    ) -> UpdateResult:
+        """Batched Update: records pre-grouped by table, routed per record."""
+        if len(self._shards) == 1:
+            result = self._shards[0].insert_many(batches, time=time)
+            self._update_history.append(result)
+            return result
+        grouped = {table: list(rows) for table, rows in batches.items() if rows}
+        parts = self._partition(grouped)
+        return self._scatter_update(parts, time)
+
+    def query(self, query: Query, time: int = 0) -> QueryResult:
+        """Scatter the query to every shard and gather the partial aggregates."""
+        if len(self._shards) == 1:
+            return self._shards[0].query(query, time=time)
+        if not self.is_setup:
+            raise RuntimeError("Query invoked before Setup")
+        if not self.supports(query):
+            raise UnsupportedQueryError(
+                f"{self.scheme_name} does not support {type(query).__name__}"
+            )
+        if isinstance(query, JoinCountQuery):
+            return self._gather_join(query, time)
+        results = [shard.query(query, time=time) for shard in self._shards]
+        if isinstance(query, GroupByCountQuery):
+            answer = merge_grouped_counts([r.answer for r in results])
+        else:
+            answer = merge_scalar_counts([r.answer for r in results])
+        return QueryResult(
+            query_name=query.name,
+            answer=answer,
+            qet_seconds=max(r.qet_seconds for r in results),
+            records_scanned=sum(r.records_scanned for r in results),
+            noise_injected=any(r.noise_injected for r in results),
+        )
+
+    # -- observable state ----------------------------------------------------
+
+    @property
+    def scheme_name(self) -> str:
+        """Scheme of the shards (shard 0's name)."""
+        return self._shards[0].scheme_name
+
+    @property
+    def edb_mode(self) -> str:
+        """Implementation mode of the shards (shard 0's mode)."""
+        return self._shards[0].edb_mode
+
+    @property
+    def is_setup(self) -> bool:
+        """Whether Setup has run on every shard."""
+        return all(shard.is_setup for shard in self._shards)
+
+    @property
+    def update_history(self) -> tuple[UpdateResult, ...]:
+        """Aggregated transcript: one ``(time, total volume)`` entry per
+        router-level Setup/Update invocation, regardless of shard count."""
+        return tuple(self._update_history)
+
+    def per_shard_observables(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """The finer-grained per-shard ``(time, volume)`` transcripts."""
+        return tuple(
+            update_pattern_observables(shard.update_history)
+            for shard in self._shards
+        )
+
+    @property
+    def outsourced_count(self) -> int:
+        """Total ciphertexts stored across all shards."""
+        return sum(shard.outsourced_count for shard in self._shards)
+
+    @property
+    def dummy_count(self) -> int:
+        """Total dummy ciphertexts stored across all shards."""
+        return sum(shard.dummy_count for shard in self._shards)
+
+    @property
+    def real_count(self) -> int:
+        """Total real ciphertexts stored across all shards."""
+        return sum(shard.real_count for shard in self._shards)
+
+    @property
+    def storage_bytes(self) -> float:
+        """Total simulated storage footprint across all shards."""
+        return sum(shard.storage_bytes for shard in self._shards)
+
+    def table_size(self, table: str) -> int:
+        """Ciphertext count (real + dummy) for one table, across shards."""
+        return sum(shard.table_size(table) for shard in self._shards)
+
+    def table_dummy_count(self, table: str) -> int:
+        """Dummy ciphertext count for one table, across shards."""
+        return sum(shard.table_dummy_count(table) for shard in self._shards)
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The shards' cost model (shard 0's; shards share a scheme)."""
+        return self._shards[0].cost_model
+
+    @property
+    def leakage_profile(self) -> LeakageProfile:
+        """The shards' leakage profile (shard 0's; shards share a scheme)."""
+        return self._shards[0].leakage_profile
+
+    def supports(self, query: Query) -> bool:
+        """Whether the sharded deployment can run ``query``.
+
+        Delegates to the shards' scheme rule on the *original* query shape:
+        a back-end without join support stays join-free even though the
+        scatter plan would only send it group-by probes.
+        """
+        return self._shards[0].supports(query)
+
+    # -- internals -----------------------------------------------------------
+
+    def _group(self, records: Iterable[Record]) -> dict[str, list[Record]]:
+        by_table: dict[str, list[Record]] = {}
+        for record in records:
+            by_table.setdefault(record.table or "default", []).append(record)
+        return by_table
+
+    def _partition(
+        self, by_table: Mapping[str, Sequence[Record]]
+    ) -> list[dict[str, list[Record]]]:
+        """Split grouped records into per-shard groups, advancing ordinals."""
+        parts: list[dict[str, list[Record]]] = [{} for _ in self._shards]
+        for table, rows in by_table.items():
+            ordinal = self._ordinals.get(table, 0)
+            for record in rows:
+                index = self.shard_index(table, ordinal)
+                parts[index].setdefault(table, []).append(record)
+                ordinal += 1
+            self._ordinals[table] = ordinal
+        return parts
+
+    def _scatter_update(
+        self, parts: Sequence[Mapping[str, Sequence[Record]]], time: int
+    ) -> UpdateResult:
+        results = []
+        touched = [index for index, part in enumerate(parts) if part]
+        if not touched:
+            # An empty synchronization is still one observable protocol
+            # round-trip; it travels through the first shard.
+            results.append(self._shards[0].insert_many({}, time=time))
+        else:
+            for index in touched:
+                results.append(self._shards[index].insert_many(parts[index], time=time))
+        return self._aggregate(results, time)
+
+    def _aggregate(self, results: Sequence[UpdateResult], time: int) -> UpdateResult:
+        aggregate = UpdateResult(
+            time=time,
+            records_added=sum(r.records_added for r in results),
+            dummies_added=sum(r.dummies_added for r in results),
+            bytes_added=sum(r.bytes_added for r in results),
+            # Shards ingest in parallel: the deployment-level duration is the
+            # slowest shard, which is where shard-count throughput scaling
+            # comes from.
+            duration_seconds=max(r.duration_seconds for r in results),
+        )
+        self._update_history.append(aggregate)
+        return aggregate
+
+    def _gather_join(self, query: JoinCountQuery, time: int) -> QueryResult:
+        """Distributed join count via per-side key histograms.
+
+        Hash-partitioned sides cannot be joined shard-locally, so each shard
+        contributes one histogram per side (an ordinary dummy-aware group-by
+        through its Query protocol); the merged histograms' dot product is
+        the exact join count.  Each shard runs its two probes sequentially;
+        shards run in parallel, so the gathered QET is the slowest shard's
+        probe total.
+        """
+        left_probe, right_probe = join_side_probes(query)
+        left_parts: list[Mapping] = []
+        right_parts: list[Mapping] = []
+        shard_qets: list[float] = []
+        scanned = 0
+        noise = False
+        for shard in self._shards:
+            left_result = shard.query(left_probe, time=time)
+            right_result = shard.query(right_probe, time=time)
+            left_parts.append(left_result.answer)
+            right_parts.append(right_result.answer)
+            shard_qets.append(left_result.qet_seconds + right_result.qet_seconds)
+            scanned += left_result.records_scanned + right_result.records_scanned
+            noise = noise or left_result.noise_injected or right_result.noise_injected
+        answer = join_count_from_histograms(
+            merge_grouped_counts(left_parts), merge_grouped_counts(right_parts)
+        )
+        return QueryResult(
+            query_name=query.name,
+            answer=answer,
+            qet_seconds=max(shard_qets),
+            records_scanned=scanned,
+            noise_injected=noise,
+        )

@@ -1,0 +1,23 @@
+"""Multi-owner fleet deployments over (possibly sharded) encrypted databases.
+
+The paper specifies DP-Sync for a single owner outsourcing one growing table.
+This package scales that shape out horizontally:
+
+* :class:`~repro.fleet.deployment.Deployment` coordinates a fleet of
+  :class:`~repro.core.owner.Owner` members -- each with its own
+  synchronization strategy, ``SeedSequence``-spawned noise stream, privacy
+  accountant and update-pattern transcript -- over one shared EDB, which may
+  itself be a :class:`~repro.edb.router.ShardRouter` partitioning records
+  across K independent back-end shards.
+* Queries go through one fleet-level analyst: ground truth is the union of
+  the members' logical databases (plus any externally registered table
+  sources), and sharded back-ends answer by scatter-gather.
+
+The single-table :class:`~repro.core.framework.DPSync` facade is a thin
+``n_owners=1`` deployment; the fleet differential tests pin that wrapper
+bit-identical to the paper's single-owner runs.
+"""
+
+from repro.fleet.deployment import Deployment
+
+__all__ = ["Deployment"]

@@ -1,0 +1,271 @@
+"""The fleet coordinator.
+
+A :class:`Deployment` owns N fleet members (:class:`~repro.core.owner.Owner`
+instances).  Members may own distinct tables (the paper's join experiment) or
+*share* a table -- e.g. one owner per ingestion region, each receiving a
+partition of the table's arrival stream (see
+:func:`repro.workload.scenarios.partition_fleet`).  Every member keeps its own
+synchronization strategy, noise stream, privacy accountant and update-pattern
+transcript, so the per-owner DP guarantee of the paper holds member-wise; the
+fleet-level update-pattern guarantee is the parallel composition over members
+(disjoint record ownership), i.e. the maximum of the member epsilons.
+
+The deployment also hosts the fleet-level analyst: ground truth is computed
+over the union of the members' logical databases plus any table sources
+registered with :meth:`register_table_source` (sibling deployments sharing
+the same EDB -- the multi-table join setup).  Queries whose tables are not
+all ingested by this deployment's own members bypass the incrementally
+maintained aggregates and rescan the provided sources, which keeps join
+ground truth correct when a foreign table grows outside this deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.analyst import Analyst, AnalystObservation
+from repro.core.owner import Owner
+from repro.core.strategies.base import SyncDecision, SyncStrategy
+from repro.core.strategies.flush import FlushPolicy
+from repro.core.strategies.registry import make_strategy
+from repro.core.update_pattern import UpdatePattern
+from repro.edb.records import Record, Schema, make_dummy_record
+from repro.query.ast import Query
+from repro.query.incremental import IncrementalTruth
+from repro.query.sql import parse_query
+
+__all__ = ["Deployment"]
+
+
+class Deployment:
+    """Coordinates a fleet of owners outsourcing to one (possibly sharded) EDB.
+
+    Parameters
+    ----------
+    edb:
+        The shared encrypted database -- a single back-end or a
+        :class:`~repro.edb.router.ShardRouter` over K shards.
+    truth_source:
+        Optional :class:`~repro.query.incremental.IncrementalTruth`; when
+        given, every record delivered through :meth:`receive` (and the
+        initial databases passed to :meth:`start`) feeds the maintained
+        ground-truth aggregates.
+    """
+
+    def __init__(
+        self, edb, truth_source: IncrementalTruth | None = None
+    ) -> None:
+        self._edb = edb
+        self._truth = truth_source
+        self._members: dict[str, Owner] = {}
+        self._table_sources: dict[str, Callable[[], Sequence[Record]]] = {}
+        self._analyst = Analyst(
+            edb, truth_source=truth_source, maintained_tables=self._owned_tables
+        )
+        self._started = False
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        schemas: Mapping[str, Schema] | Schema,
+        edb,
+        n_owners: int = 1,
+        strategy: str = "dp-timer",
+        epsilon: float = 0.5,
+        period: int = 30,
+        theta: int = 15,
+        flush: FlushPolicy | None = None,
+        seed: int = 0,
+        truth_source: IncrementalTruth | None = None,
+    ) -> "Deployment":
+        """Build a fleet of ``n_owners`` members per table.
+
+        Member RNG streams are spawned from one ``SeedSequence(seed)`` in
+        member order, so adding a table or an owner never disturbs the noise
+        of the others, and a fixed seed reproduces the whole fleet.  Members
+        of table ``T`` are named ``T`` when ``n_owners == 1`` and ``T#i``
+        otherwise (matching the stream names
+        :func:`repro.workload.scenarios.partition_fleet` produces).
+        """
+        if n_owners < 1:
+            raise ValueError("n_owners must be >= 1")
+        if isinstance(schemas, Schema):
+            schemas = {schemas.name: schemas}
+        deployment = cls(edb, truth_source=truth_source)
+        members = [
+            (f"{table}#{index}" if n_owners > 1 else table, schema)
+            for table, schema in schemas.items()
+            for index in range(n_owners)
+        ]
+        children = np.random.SeedSequence(seed).spawn(len(members))
+        for (name, schema), child in zip(members, children):
+            member_strategy = make_strategy(
+                strategy,
+                dummy_factory=lambda t, s=schema: make_dummy_record(s, t),
+                rng=np.random.default_rng(child),
+                epsilon=epsilon,
+                period=period,
+                theta=theta,
+                flush=flush,
+            )
+            deployment.add_owner(name, schema, member_strategy)
+        return deployment
+
+    def add_owner(self, name: str, schema: Schema, strategy: SyncStrategy) -> Owner:
+        """Register one fleet member (before :meth:`start`)."""
+        if self._started:
+            raise RuntimeError("owners must be added before start()")
+        if name in self._members:
+            raise ValueError(f"duplicate owner name {name!r}")
+        if schema.name in self._table_sources:
+            # Mirror of the register_table_source guard: an owned table with
+            # an external source would double-count in ground truth.
+            raise ValueError(
+                f"table {schema.name!r} already has an external source"
+            )
+        owner = Owner(schema=schema, strategy=strategy, edb=self._edb, name=name)
+        self._members[name] = owner
+        return owner
+
+    def register_table_source(
+        self, table: str, source: Callable[[], Sequence[Record]]
+    ) -> None:
+        """Expose an external logical table to this deployment's ground truth.
+
+        Used when several deployments (or :class:`~repro.core.framework.DPSync`
+        facades) share one EDB and a query joins across their tables: the
+        analyst's ground truth then includes the sibling's logical records.
+        """
+        if table in self._table_sources:
+            raise ValueError(f"table source {table!r} already registered")
+        if table in self._owned_tables():
+            # The member's own records already feed logical_tables(); adding
+            # an external source for the same table would double-count every
+            # shared record in ground truth.
+            raise ValueError(
+                f"table {table!r} is already owned by this deployment"
+            )
+        self._table_sources[table] = source
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(
+        self, initial: Mapping[str, Sequence[Record]] | None = None
+    ) -> None:
+        """Initialize every member (Setup / time-0 Update), in member order.
+
+        ``initial`` maps member names to their initial databases ``D_0``;
+        omitted members start empty.  The first member initializes the shared
+        EDB through Setup, later members register their initial outsourcing
+        through Update at time 0.
+        """
+        if self._started:
+            raise RuntimeError("deployment already started")
+        if not self._members:
+            raise ValueError("deployment has no owners")
+        unknown = set(initial or ()) - set(self._members)
+        if unknown:
+            raise KeyError(f"initial records for unknown owners {sorted(unknown)}")
+        for name, owner in self._members.items():
+            records = list((initial or {}).get(name, ()))
+            owner.initialize(records)
+            if self._truth is not None:
+                self._truth.ingest(owner.table, records)
+        self._started = True
+
+    def receive(
+        self, owner_name: str, time: int, update: Record | None
+    ) -> SyncDecision:
+        """Deliver the logical update ``u_t`` of one member for time ``time``."""
+        if not self._started:
+            raise RuntimeError("call start() before receive()")
+        owner = self._members[owner_name]
+        decision = owner.tick(time, update)
+        if update is not None and self._truth is not None:
+            self._truth.ingest_one(owner.table, update)
+        return decision
+
+    def query(self, query: Query | str, time: int | None = None) -> AnalystObservation:
+        """Run a query (AST or SQL) through the fleet's Query protocol."""
+        if not self._started:
+            raise RuntimeError("call start() before query()")
+        parsed = parse_query(query) if isinstance(query, str) else query
+        at = time if time is not None else self.current_time
+        return self._analyst.query(parsed, self.logical_tables, time=at)
+
+    # -- fleet state -----------------------------------------------------------
+
+    @property
+    def owners(self) -> dict[str, Owner]:
+        """The fleet members, keyed by member name (insertion order)."""
+        return dict(self._members)
+
+    def member(self, name: str) -> Owner:
+        """One fleet member by name."""
+        return self._members[name]
+
+    @property
+    def n_owners(self) -> int:
+        """Number of fleet members."""
+        return len(self._members)
+
+    @property
+    def edb(self):
+        """The shared encrypted database (or shard router)."""
+        return self._edb
+
+    @property
+    def analyst(self) -> Analyst:
+        """The fleet-level analyst."""
+        return self._analyst
+
+    @property
+    def truth_source(self) -> IncrementalTruth | None:
+        """The maintained ground-truth aggregates, when enabled."""
+        return self._truth
+
+    @property
+    def current_time(self) -> int:
+        """Latest time unit processed by any member."""
+        if not self._members:
+            return 0
+        return max(owner.current_time for owner in self._members.values())
+
+    @property
+    def epsilon(self) -> float:
+        """Fleet-level update-pattern guarantee.
+
+        Members own disjoint record streams, so the fleet composes in
+        parallel: the guarantee is the worst (maximum) member epsilon.
+        """
+        if not self._members:
+            return 0.0
+        return max(owner.strategy.epsilon for owner in self._members.values())
+
+    def update_patterns(self) -> dict[str, UpdatePattern]:
+        """Per-member server-observable update transcripts."""
+        return {name: owner.update_pattern for name, owner in self._members.items()}
+
+    def logical_tables(self) -> dict[str, list[Record]]:
+        """Ground-truth view: union of member logical databases per table,
+        extended by any registered external table sources."""
+        tables: dict[str, list[Record]] = {}
+        for owner in self._members.values():
+            tables.setdefault(owner.table, []).extend(owner.logical_database)
+        for table, source in self._table_sources.items():
+            tables.setdefault(table, []).extend(source())
+        return tables
+
+    def logical_size(self) -> int:
+        """Total real records received by the fleet."""
+        return sum(owner.logical_size for owner in self._members.values())
+
+    # -- internals -------------------------------------------------------------
+
+    def _owned_tables(self) -> set[str]:
+        """Tables whose inserts flow through this deployment's truth source."""
+        return {owner.table for owner in self._members.values()}

@@ -20,7 +20,10 @@ This package provides:
   truth on the logical database and, inside the EDB simulators, for the
   "enclave-side" evaluation over outsourced records;
 * :mod:`repro.query.sql` -- a tiny SQL front-end that parses the paper's
-  three query strings into AST objects.
+  three query strings into AST objects;
+* :mod:`repro.query.scatter` -- deterministic partial-aggregate merging for
+  scatter-gather evaluation over sharded back-ends
+  (:class:`repro.edb.router.ShardRouter`).
 """
 
 from repro.query.predicates import (
@@ -49,6 +52,11 @@ from repro.query.ast import (
 )
 from repro.query.rewriter import rewrite_for_dummies, rewrite_plan
 from repro.query.executor import PlaintextExecutor, execute_plan, ground_truth
+from repro.query.scatter import (
+    join_count_from_histograms,
+    merge_grouped_counts,
+    merge_scalar_counts,
+)
 from repro.query.sql import parse_query
 
 __all__ = [
@@ -75,6 +83,9 @@ __all__ = [
     "TruePredicate",
     "execute_plan",
     "ground_truth",
+    "join_count_from_histograms",
+    "merge_grouped_counts",
+    "merge_scalar_counts",
     "parse_query",
     "rewrite_for_dummies",
     "rewrite_plan",

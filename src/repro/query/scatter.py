@@ -1,0 +1,100 @@
+"""Scatter-gather query evaluation over sharded encrypted databases.
+
+When a table's records are hash-partitioned across K independent EDB shards
+(:class:`repro.edb.router.ShardRouter`), the paper's three query shapes all
+decompose into *partial aggregates* computed per shard plus a cheap,
+deterministic merge at the coordinator -- the classic distributed
+aggregation/join-evaluation move (cf. PANDA-style join decomposition and the
+incremental-maintenance view of counts under updates):
+
+* ``COUNT(*) WHERE p``           -- per-shard counts, merged by summation;
+* ``... GROUP BY g``             -- per-shard group histograms, merged by
+  per-key summation with keys kept in first-appearance order across shards
+  (shard order first, per-shard order within);
+* ``COUNT(*)`` of an equi-join   -- per-shard *per-side key histograms*
+  (a join over hash-partitioned sides cannot be summed shard-locally:
+  a left record on shard 0 joins right records on shard 1), merged into
+  global per-side histograms whose dot product is the exact join count.
+
+Every merge is pure integer/float arithmetic over the shard answers, so for
+*exact* back-ends (ObliDB's L-0 answers) the gathered answer over K shards
+equals the answer the unsharded back-end computes over the union of the
+shards' records -- the property the fleet benchmarks assert at every query
+point.  On an L-DP back-end (Crypt-epsilon) each shard perturbs its partial
+answer independently, so the gathered answer carries the *sum* of K noise
+draws (K-fold variance): semantically each shard is its own L-DP EDB, but
+sharding is not accuracy-free there the way it is on exact back-ends.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.query.ast import GroupByCountQuery, JoinCountQuery
+
+__all__ = [
+    "merge_scalar_counts",
+    "merge_grouped_counts",
+    "join_count_from_histograms",
+    "join_side_probes",
+]
+
+
+def merge_scalar_counts(parts: Sequence[int | float]) -> int | float:
+    """Gather a scalar count: the sum of the per-shard partial counts.
+
+    The sum stays an ``int`` when every part is integral (exact back-ends),
+    and becomes a ``float`` as soon as any shard answered with DP noise left
+    unrounded.
+    """
+    return sum(parts)
+
+
+def merge_grouped_counts(parts: Sequence[Mapping]) -> dict:
+    """Gather per-group counts: per-key summation, first-appearance order.
+
+    Keys appear in the order shards are visited and, within one shard, in
+    that shard's answer order -- a deterministic function of the shard
+    contents, which keeps gathered answers reproducible at a fixed seed.
+    """
+    merged: dict = {}
+    for part in parts:
+        for key, count in part.items():
+            merged[key] = merged.get(key, 0) + count
+    return merged
+
+
+def join_count_from_histograms(left: Mapping, right: Mapping) -> int:
+    """Join count from global per-side key histograms: ``sum_k L[k] * R[k]``.
+
+    Iterating the smaller histogram keeps the merge ``O(min(|L|, |R|))``
+    regardless of how many shards contributed.
+    """
+    if len(right) < len(left):
+        left, right = right, left
+    return int(
+        sum(count * right[key] for key, count in left.items() if key in right)
+    )
+
+
+def join_side_probes(query: JoinCountQuery) -> tuple[GroupByCountQuery, GroupByCountQuery]:
+    """The two per-shard probe queries a join count scatters into.
+
+    Each probe is an ordinary group-by-count over one side's join attribute
+    (with that side's predicate), so shards evaluate it through their normal
+    Query protocol -- dummy-aware rewriting and the columnar fast path
+    included -- and the coordinator merges the resulting histograms.
+    """
+    left = GroupByCountQuery(
+        table=query.left_table,
+        group_attribute=query.left_attribute,
+        predicate=query.left_predicate,
+        label=f"{query.name}/scatter-left",
+    )
+    right = GroupByCountQuery(
+        table=query.right_table,
+        group_attribute=query.right_attribute,
+        predicate=query.right_predicate,
+        label=f"{query.name}/scatter-right",
+    )
+    return left, right

@@ -55,10 +55,11 @@ from repro.core.strategies.flush import FlushPolicy
 from repro.edb.base import EncryptedDatabase
 from repro.edb.crypte import CryptEpsilon
 from repro.edb.oblidb import ObliDB
+from repro.edb.router import ShardRouter
 from repro.query.ast import JoinCountQuery, Query
 from repro.simulation.results import RunResult
-from repro.simulation.simulator import Simulation, SimulationConfig
-from repro.workload.scenarios import build_scenario, scenario_queries
+from repro.simulation.simulator import Simulation, SimulationConfig, derive_schema
+from repro.workload.scenarios import build_scenario, partition_fleet, scenario_queries
 
 __all__ = [
     "DEFAULT_EPSILON",
@@ -72,6 +73,7 @@ __all__ = [
     "GridResult",
     "GridRunner",
     "make_backend",
+    "make_sharded_backend",
     "run_cell",
     "supported_backend_queries",
 ]
@@ -109,6 +111,47 @@ def make_backend(
     raise KeyError(f"unknown back-end {name!r}; expected 'oblidb' or 'crypte'")
 
 
+def make_sharded_backend(
+    name: str,
+    n_shards: int,
+    seed: int = 0,
+    crypte_query_epsilon: float = DEFAULT_CRYPTE_QUERY_EPSILON,
+    mode: str = "fast",
+) -> Callable[[], ShardRouter]:
+    """A factory for a :class:`~repro.edb.router.ShardRouter` over ``n_shards``
+    independent back-end instances.
+
+    Shard 0 is seeded exactly like the unsharded :func:`make_backend` (so a
+    one-shard router is byte-identical to the plain back-end); later shards
+    draw their seeds from ``SeedSequence([seed, shard_index])`` -- adding a
+    shard never disturbs the noise streams of the existing ones.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+
+    def build() -> ShardRouter:
+        shards = []
+        for index in range(n_shards):
+            shard_seed = (
+                seed
+                if index == 0
+                else int(
+                    np.random.SeedSequence([seed, index]).generate_state(1)[0]
+                )
+            )
+            shards.append(
+                make_backend(
+                    name,
+                    seed=shard_seed,
+                    crypte_query_epsilon=crypte_query_epsilon,
+                    mode=mode,
+                )()
+            )
+        return ShardRouter(shards, route_seed=seed)
+
+    return build
+
+
 # ---------------------------------------------------------------------------
 # Cell specification
 # ---------------------------------------------------------------------------
@@ -123,6 +166,15 @@ class CellSpec:
     ``queries`` optionally restricts the scenario's evaluation queries to the
     named subset (e.g. ``("Q2",)`` for the paper's sweeps); ``None`` keeps
     every query the back-end supports.
+
+    Fleet fields: ``n_owners`` partitions every workload stream across that
+    many owners (each with its own strategy and noise stream),
+    ``fleet_scenario`` names the partition policy
+    (:data:`repro.workload.scenarios.FLEET_PARTITIONS`; empty selects
+    round-robin), and ``n_shards`` routes the outsourced records across that
+    many independent EDB shards via a
+    :class:`~repro.edb.router.ShardRouter`.  The defaults (1/1) reproduce
+    the single-owner, single-EDB paper setup exactly.
     """
 
     strategy: str
@@ -143,10 +195,15 @@ class CellSpec:
     workload_seed: int = 2020
     crypte_query_epsilon: float = DEFAULT_CRYPTE_QUERY_EPSILON
     edb_mode: str = "fast"
+    n_owners: int = 1
+    n_shards: int = 1
+    fleet_scenario: str = ""
     scenario_kwargs: tuple[tuple[str, float], ...] = ()
     cell_id: str = ""
 
     def __post_init__(self) -> None:
+        if self.n_owners < 1 or self.n_shards < 1:
+            raise ValueError("n_owners and n_shards must be >= 1")
         if self.queries is not None:
             object.__setattr__(self, "queries", tuple(self.queries))
         object.__setattr__(
@@ -167,6 +224,8 @@ class CellSpec:
             f"scale={self.scale:g}",
             f"seed={self.sim_seed}",
         ]
+        if self.n_owners != 1 or self.n_shards != 1:
+            parts.append(f"fleet={self.n_owners}x{self.n_shards}")
         parts.extend(f"{k}={v!r}" for k, v in self.scenario_kwargs)
         # The readable prefix does not cover every field (flush, horizon,
         # query subset, backend/workload seeds, ...); the content hash does,
@@ -254,6 +313,19 @@ def run_cell(spec: CellSpec) -> RunResult:
     workloads = _cached_workloads(
         spec.scenario, spec.workload_seed, spec.scale, spec.scenario_kwargs
     )
+    schemas = None
+    if spec.n_owners > 1:
+        # Partitions inherit the unpartitioned stream's schema: a small or
+        # skewed partition may be empty, which carries no record to derive
+        # a schema from but is a perfectly valid (idle) fleet member.
+        schemas = {}
+        for stream, workload in workloads.items():
+            schema = derive_schema(stream, workload)
+            for index in range(spec.n_owners):
+                schemas[f"{stream}#{index}"] = schema
+        workloads = partition_fleet(
+            workloads, spec.n_owners, policy=spec.fleet_scenario or "round-robin"
+        )
     config = SimulationConfig(
         strategy=spec.strategy,
         epsilon=spec.epsilon,
@@ -264,16 +336,27 @@ def run_cell(spec: CellSpec) -> RunResult:
         horizon=spec.horizon,
         seed=spec.sim_seed,
     )
-    simulation = Simulation(
-        edb_factory=make_backend(
+    if spec.n_shards > 1:
+        edb_factory: Callable[[], EncryptedDatabase] = make_sharded_backend(
+            spec.backend,
+            spec.n_shards,
+            seed=spec.backend_seed,
+            crypte_query_epsilon=spec.crypte_query_epsilon,
+            mode=spec.edb_mode,
+        )
+    else:
+        edb_factory = make_backend(
             spec.backend,
             seed=spec.backend_seed,
             crypte_query_epsilon=spec.crypte_query_epsilon,
             mode=spec.edb_mode,
-        ),
+        )
+    simulation = Simulation(
+        edb_factory=edb_factory,
         workloads=workloads,
         queries=_queries_for(spec),
         config=config,
+        schemas=schemas,
     )
     return simulation.run()
 
@@ -300,6 +383,9 @@ _AXIS_FIELDS = frozenset(
         "scale",
         "horizon",
         "crypte_query_epsilon",
+        "n_owners",
+        "n_shards",
+        "fleet_scenario",
     }
 )
 
@@ -717,6 +803,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         choices=["fast", "reference"],
         help="EDB implementation: vectorized fast path or row-at-a-time reference",
     )
+    parser.add_argument(
+        "--n-owners",
+        type=int,
+        default=1,
+        help="fleet size: partition every stream across this many owners",
+    )
+    parser.add_argument(
+        "--n-shards",
+        type=int,
+        default=1,
+        help="shard the EDB across this many independent back-end instances",
+    )
+    parser.add_argument(
+        "--fleet-scenario",
+        default="",
+        help="fleet partition policy (round-robin / hash-user; default round-robin)",
+    )
     args = parser.parse_args(argv)
 
     parameters: dict[str, Sequence] = {
@@ -730,7 +833,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         backends=(args.backend,),
         scenarios=(args.scenario,),
         parameters=parameters,
-        base=CellSpec(strategy="dp-timer", edb_mode=args.edb_mode),
+        base=CellSpec(
+            strategy="dp-timer",
+            edb_mode=args.edb_mode,
+            n_owners=args.n_owners,
+            n_shards=args.n_shards,
+            fleet_scenario=args.fleet_scenario,
+        ),
         base_seed=args.seed,
     )
     runner = GridRunner(

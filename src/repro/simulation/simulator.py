@@ -1,21 +1,31 @@
 """The end-to-end simulator.
 
-:class:`Simulation` replays one or more growing databases (one per table)
-against a single EDB back-end, with one owner + synchronization strategy per
-table, and issues the evaluation queries on a fixed schedule.  It collects
-the traces the paper's figures and tables are built from.
+:class:`Simulation` replays one or more growing databases against a single
+EDB back-end (or a :class:`~repro.edb.router.ShardRouter` over several
+shards), with one owner + synchronization strategy per update stream, and
+issues the evaluation queries on a fixed schedule.  It collects the traces
+the paper's figures and tables are built from.
 
 This mirrors the paper's experimental client: "the client takes as input a
 timestamped dataset but consumes only one record per round", with a one
 minute gap between rounds (Section 8, implementation and configuration).
 
+Workloads are keyed by *stream name*.  In the paper's single-owner shape the
+stream name is the table name (one owner per table); a fleet run passes
+several streams of the same table -- e.g. the partitions produced by
+:func:`repro.workload.scenarios.partition_fleet` -- and gets one fleet member
+per stream, all outsourcing to the shared EDB.  The owners are coordinated
+through a :class:`repro.fleet.Deployment`, whose per-member strategies draw
+from ``SeedSequence``-spawned noise streams.
+
 Since the event-driven refactor, :meth:`Simulation.run` is a thin wrapper
-over :class:`repro.engine.Engine`: owners are woken only at logical arrivals
-and at their strategies' self-scheduled times (timer boundaries, flush
-ticks), and ground-truth answers are maintained incrementally instead of
-rescanning the logical tables at every query time.  The original per-tick
-loop survives as :meth:`Simulation.run_legacy`; both paths produce
-bit-identical :class:`RunResult`\\ s at a fixed seed (see
+over :class:`repro.engine.Engine`: every owner's stream is interleaved in one
+event heap, woken only at its logical arrivals and at its strategy's
+self-scheduled times (timer boundaries, flush ticks), and ground-truth
+answers are maintained incrementally instead of rescanning the logical
+tables at every query time.  The original per-tick loop survives as
+:meth:`Simulation.run_legacy`; both paths produce bit-identical
+:class:`RunResult`\\ s at a fixed seed (see
 ``tests/test_engine_equivalence.py``) and the benchmark
 ``benchmarks/bench_engine_speed.py`` tracks the speedup.
 """
@@ -34,13 +44,31 @@ from repro.core.strategies.registry import make_strategy
 from repro.edb.base import EncryptedDatabase
 from repro.edb.records import Schema, make_dummy_record
 from repro.engine import Engine
+from repro.fleet import Deployment
 from repro.query.ast import Query
 from repro.query.incremental import IncrementalTruth
 from repro.simulation.clock import SimulationClock
 from repro.simulation.results import QueryTrace, RunResult, TimePoint
 from repro.workload.stream import GrowingDatabase
 
-__all__ = ["SimulationConfig", "Simulation"]
+__all__ = ["SimulationConfig", "Simulation", "derive_schema"]
+
+
+def derive_schema(stream: str, workload: GrowingDatabase) -> Schema:
+    """Derive a stream's schema from its first record.
+
+    Raises ``ValueError`` for an empty workload -- callers that know the
+    schema from elsewhere (e.g. fleet partitions of a non-empty stream,
+    where a small partition may be empty) should pass it explicitly.
+    """
+    record = next(
+        (r for r in workload.initial), None
+    ) or next((u for u in workload.updates if u is not None), None)
+    if record is None:
+        raise ValueError(
+            f"workload for stream {stream!r} is empty; pass its schema explicitly"
+        )
+    return Schema(name=workload.table, attributes=tuple(record.values.keys()))
 
 
 @dataclass(frozen=True)
@@ -79,6 +107,7 @@ class _RunContext:
     edb: EncryptedDatabase
     analyst: Analyst
     owners: dict[str, Owner]
+    deployment: Deployment
     result: RunResult
     queries: list[Query]
     horizon: int
@@ -90,16 +119,18 @@ class Simulation:
     Parameters
     ----------
     edb_factory:
-        Zero-argument callable building a fresh EDB back-end for the run.
+        Zero-argument callable building a fresh EDB back-end (or shard
+        router) for the run.
     workloads:
-        Mapping ``table name -> GrowingDatabase``.  One owner (with its own
-        strategy instance and cache) is created per table; they all share the
-        single EDB, as in the paper's join experiment.
+        Mapping ``stream name -> GrowingDatabase``.  One owner (with its own
+        strategy instance and cache) is created per stream; they all share
+        the single EDB.  In the single-owner-per-table shape the stream name
+        is the table name; fleet runs pass several streams per table.
     queries:
         The evaluation queries; queries a back-end cannot execute (e.g. joins
         on Crypt-epsilon) are skipped automatically.
     schemas:
-        Optional mapping ``table name -> Schema``; derived from the workload
+        Optional mapping ``stream name -> Schema``; derived from the workload
         records when omitted.
     config:
         Run parameters (strategy, privacy budget, query schedule, ...).
@@ -114,23 +145,15 @@ class Simulation:
         schemas: Mapping[str, Schema] | None = None,
     ) -> None:
         if not workloads:
-            raise ValueError("at least one workload table is required")
+            raise ValueError("at least one workload stream is required")
         self._edb_factory = edb_factory
         self._workloads = dict(workloads)
         self._queries = list(queries)
         self._config = config
         self._schemas = dict(schemas) if schemas else {}
-        for table, workload in self._workloads.items():
-            if table not in self._schemas:
-                self._schemas[table] = self._derive_schema(table, workload)
-
-    @staticmethod
-    def _derive_schema(table: str, workload: GrowingDatabase) -> Schema:
-        for record in list(workload.initial) + [u for u in workload.updates if u]:
-            return Schema(name=table, attributes=tuple(record.values.keys()))
-        raise ValueError(
-            f"workload for table {table!r} is empty; pass its schema explicitly"
-        )
+        for stream, workload in self._workloads.items():
+            if stream not in self._schemas:
+                self._schemas[stream] = derive_schema(stream, workload)
 
     # -- main entry points --------------------------------------------------------
 
@@ -145,11 +168,11 @@ class Simulation:
         ctx = self._build()
         truth = ctx.analyst.truth_source
         engine = Engine(ctx.horizon)
-        for table, owner in ctx.owners.items():
+        for stream, owner in ctx.owners.items():
             engine.add_stream(
-                table,
-                deliver=self._make_deliver(table, owner, truth),
-                arrivals=self._workloads[table].arrivals(),
+                stream,
+                deliver=self._make_deliver(owner, truth),
+                arrivals=self._workloads[stream].arrivals(),
                 next_self_event=owner.strategy.next_event,
             )
         if self._config.query_interval:
@@ -172,8 +195,8 @@ class Simulation:
             horizon=ctx.horizon, query_interval=self._config.query_interval
         )
         for time in clock.iter_ticks():
-            for table, owner in ctx.owners.items():
-                update = self._workloads[table].update_at(time)
+            for stream, owner in ctx.owners.items():
+                update = self._workloads[stream].update_at(time)
                 owner.tick(time, update)
             if clock.is_query_time():
                 self._observe(time, ctx)
@@ -182,7 +205,7 @@ class Simulation:
     # -- construction ---------------------------------------------------------------
 
     def _build(self, incremental_truth: bool = True) -> _RunContext:
-        """Instantiate the EDB, owners and analyst shared by both run modes."""
+        """Instantiate the EDB, owner fleet and analyst shared by both modes."""
         config = self._config
         edb = self._edb_factory()
 
@@ -197,15 +220,14 @@ class Simulation:
             for query in runnable_queries:
                 if truth.can_maintain(query):
                     truth.register(query)
-        analyst = Analyst(edb, truth_source=truth)
 
-        # One independent noise stream per table: SeedSequence children keep
-        # runs reproducible from one seed while adding or removing a table
-        # leaves every other table's noise untouched.
+        # One independent noise stream per owner: SeedSequence children keep
+        # runs reproducible from one seed while adding or removing a stream
+        # leaves every other owner's noise untouched.
+        deployment = Deployment(edb, truth_source=truth)
         children = np.random.SeedSequence(config.seed).spawn(len(self._workloads))
-        owners: dict[str, Owner] = {}
-        for (table, workload), child in zip(self._workloads.items(), children):
-            schema = self._schemas[table]
+        for (stream, workload), child in zip(self._workloads.items(), children):
+            schema = self._schemas[stream]
             strategy = make_strategy(
                 config.strategy,
                 dummy_factory=lambda t, s=schema: make_dummy_record(s, t),
@@ -215,11 +237,10 @@ class Simulation:
                 theta=config.theta,
                 flush=config.flush,
             )
-            owner = Owner(schema=schema, strategy=strategy, edb=edb)
-            owner.initialize(workload.initial)
-            if truth is not None:
-                truth.ingest(table, workload.initial)
-            owners[table] = owner
+            deployment.add_owner(stream, schema, strategy)
+        deployment.start(
+            {stream: workload.initial for stream, workload in self._workloads.items()}
+        )
 
         result = RunResult(
             strategy=config.strategy,
@@ -237,15 +258,18 @@ class Simulation:
         )
         return _RunContext(
             edb=edb,
-            analyst=analyst,
-            owners=owners,
+            analyst=deployment.analyst,
+            owners=deployment.owners,
+            deployment=deployment,
             result=result,
             queries=runnable_queries,
             horizon=horizon,
         )
 
     @staticmethod
-    def _make_deliver(table: str, owner: Owner, truth: IncrementalTruth | None):
+    def _make_deliver(owner: Owner, truth: IncrementalTruth | None):
+        table = owner.table
+
         def deliver(time, update):
             owner.tick(time, update)
             if update is not None and truth is not None:
@@ -269,11 +293,10 @@ class Simulation:
         return result
 
     def _observe(self, time: int, ctx: _RunContext) -> None:
-        logical_tables = lambda: {
-            table: owner.logical_database for table, owner in ctx.owners.items()
-        }
         for query in ctx.queries:
-            observation = ctx.analyst.query(query, logical_tables, time=time)
+            observation = ctx.analyst.query(
+                query, ctx.deployment.logical_tables, time=time
+            )
             ctx.result.add_query_trace(
                 QueryTrace(
                     time=time,
@@ -295,8 +318,13 @@ class Simulation:
         storage = edb.storage_bytes
         per_record_bytes = edb.cost_model.parameters.record_storage_bytes
         # The paper reports the logical gap of the primary (Yellow Cab) table;
-        # we follow that convention: the first workload table is primary.
-        primary_owner = next(iter(owners.values()))
+        # we follow that convention: the first workload stream names the
+        # primary table, and in a fleet the table's gap is the sum over the
+        # members sharing it (a single owner per table reduces to its own).
+        primary_table = next(iter(owners.values())).table
+        primary_gap = sum(
+            o.logical_gap for o in owners.values() if o.table == primary_table
+        )
         result.add_time_point(
             TimePoint(
                 time=time,
@@ -304,7 +332,7 @@ class Simulation:
                 dummy_records=dummy_records,
                 storage_bytes=storage,
                 dummy_bytes=dummy_records * per_record_bytes,
-                logical_gap=primary_owner.logical_gap,
+                logical_gap=primary_gap,
                 logical_size=sum(o.logical_size for o in owners.values()),
             )
         )

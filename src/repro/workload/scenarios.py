@@ -23,6 +23,19 @@ Built-in scenarios:
 ``multi-table-skew``
     Three tables with wildly different occupancies (hot / warm / cold), the
     shape that exercises per-owner scheduling fairness.
+``million-users``
+    A near-saturated event stream drawn from a million-user id domain --
+    the synthetic shape for fleet/shard scaling work (sweep ``n_owners`` /
+    ``n_shards`` over it).
+
+**Fleet partitioning.**  A fleet run splits each stream's arrivals across N
+owners: :func:`partition_fleet` turns every ``{stream: GrowingDatabase}``
+entry into N sub-streams of the *same table* (named ``stream#i``), using a
+named partition policy from :data:`FLEET_PARTITIONS` -- ``"round-robin"``
+(arrival ordinals modulo N) or ``"hash-user"`` (stable hash of the record's
+``user_id``, so one user's records always land on one owner).  Partitioning
+is exact: every arrival goes to exactly one owner and the union of the
+sub-streams is the original stream.
 
 Use :func:`register_scenario` to add project-specific scenarios; grids pick
 them up by name immediately.
@@ -30,12 +43,13 @@ them up by name immediately.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping
 
 import numpy as np
 
-from repro.edb.records import Schema
+from repro.edb.records import Record, Schema
 from repro.query.ast import Query
 from repro.query.sql import parse_query
 from repro.workload.generator import (
@@ -55,10 +69,13 @@ from repro.workload.nyc_taxi import (
 from repro.workload.stream import GrowingDatabase
 
 __all__ = [
+    "FLEET_PARTITIONS",
     "PAPER_Q1_SQL",
     "PAPER_Q2_SQL",
     "PAPER_Q3_SQL",
     "Scenario",
+    "partition_fleet",
+    "partition_stream",
     "register_scenario",
     "get_scenario",
     "list_scenarios",
@@ -372,3 +389,155 @@ register_scenario(
         queries=_event_queries("Hot"),
     )
 )
+
+
+# ---------------------------------------------------------------------------
+# Million-user-scale synthetic shape
+# ---------------------------------------------------------------------------
+
+_USERS_SCHEMA = Schema(name="Users", attributes=("user_id", "region", "value"))
+
+
+def _build_million_users(
+    seed: int = 0,
+    scale: float = 1.0,
+    rate: float = 0.97,
+    n_users: int = 1_000_000,
+    n_regions: int = 12,
+    base_horizon: int = 8_000,
+) -> dict[str, GrowingDatabase]:
+    """A near-saturated stream drawn from a million-user id domain.
+
+    Models the ROADMAP's "heavy traffic from millions of users" shape: the
+    arrival process is almost fully occupied and every record carries a
+    ``user_id`` sampled from a 10^6-sized population (so group-bys target the
+    coarse ``region`` attribute, never the user id).  This is the workload
+    the fleet/shard sweeps (``n_owners`` x ``n_shards``) scale against.
+    """
+    horizon = _scaled_horizon(base_horizon, scale)
+    arrivals = poisson_arrivals(horizon, rate, np.random.default_rng(seed))
+    n_users = max(1, int(n_users))
+    n_regions = max(1, int(n_regions))
+
+    def sampler(t: int, rng: np.random.Generator) -> dict:
+        return {
+            "user_id": int(rng.integers(1, n_users + 1)),
+            "region": int(rng.integers(1, n_regions + 1)),
+            "value": int(rng.integers(0, 100)),
+        }
+
+    payload_rng = np.random.default_rng(np.random.SeedSequence([seed, 0xFACE]))
+    db = build_growing_database(_USERS_SCHEMA, arrivals, sampler, payload_rng)
+    return {db.table: db}
+
+
+def _million_user_queries() -> list[Query]:
+    return [
+        parse_query(
+            "SELECT COUNT(*) FROM Users WHERE value BETWEEN 25 AND 75", label="Q1"
+        ),
+        parse_query(
+            "SELECT region, COUNT(*) AS Cnt FROM Users GROUP BY region", label="Q2"
+        ),
+    ]
+
+
+register_scenario(
+    Scenario(
+        name="million-users",
+        description="Near-saturated stream over a 10^6 user-id domain: fleet scaling",
+        builder=_build_million_users,
+        queries=_million_user_queries,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Fleet partitioning: one arrival stream -> N owner sub-streams
+# ---------------------------------------------------------------------------
+
+#: Partition policy signature: ``(record, ordinal, n_owners) -> owner index``.
+#: ``ordinal`` is the record's position in the stream (initial records first,
+#: then arrivals in time order), so every policy is a deterministic, total
+#: function -- each record lands on exactly one owner.
+FleetPartition = Callable[[Record, int, int], int]
+
+
+def _round_robin_partition(record: Record, ordinal: int, n_owners: int) -> int:
+    return ordinal % n_owners
+
+
+def _hash_user_partition(record: Record, ordinal: int, n_owners: int) -> int:
+    """Stable content hash of the record's ``user_id`` (ordinal fallback).
+
+    All records of one user land on one owner -- the sharding discipline a
+    real multi-tenant ingestion tier uses -- while records without a
+    ``user_id`` attribute degrade to round-robin.
+    """
+    user = record.get("user_id")
+    if user is None:
+        return ordinal % n_owners
+    return zlib.crc32(repr(user).encode()) % n_owners
+
+
+FLEET_PARTITIONS: dict[str, FleetPartition] = {
+    "round-robin": _round_robin_partition,
+    "hash-user": _hash_user_partition,
+}
+
+
+def partition_stream(
+    workload: GrowingDatabase, n_owners: int, policy: str = "round-robin"
+) -> list[GrowingDatabase]:
+    """Split one growing database into ``n_owners`` disjoint sub-streams.
+
+    Each sub-stream keeps the original table name and horizon; arrival
+    ``u_t`` appears in exactly one sub-stream (at the same time ``t``), and
+    initial records are assigned by the same policy.  The union of the
+    sub-streams is therefore the original stream, which keeps fleet ground
+    truth equal to the single-owner ground truth.
+    """
+    if n_owners < 1:
+        raise ValueError("n_owners must be >= 1")
+    if n_owners == 1:
+        return [workload]
+    try:
+        partition = FLEET_PARTITIONS[policy]
+    except KeyError:
+        known = ", ".join(sorted(FLEET_PARTITIONS))
+        raise KeyError(f"unknown fleet partition {policy!r}; known: {known}") from None
+    initial: list[list[Record]] = [[] for _ in range(n_owners)]
+    updates: list[list[Record | None]] = [
+        [None] * workload.horizon for _ in range(n_owners)
+    ]
+    ordinal = 0
+    for record in workload.initial:
+        initial[partition(record, ordinal, n_owners)].append(record)
+        ordinal += 1
+    for time, record in workload.arrivals():
+        updates[partition(record, ordinal, n_owners)][time - 1] = record
+        ordinal += 1
+    return [
+        GrowingDatabase(table=workload.table, initial=init, updates=upd)
+        for init, upd in zip(initial, updates)
+    ]
+
+
+def partition_fleet(
+    workloads: Mapping[str, GrowingDatabase],
+    n_owners: int,
+    policy: str = "round-robin",
+) -> dict[str, GrowingDatabase]:
+    """Partition every stream of a scenario across ``n_owners`` fleet members.
+
+    Stream ``S`` becomes ``S#0 ... S#{N-1}`` (same table, disjoint arrivals),
+    matching the member naming of :meth:`repro.fleet.Deployment.build`.
+    ``n_owners == 1`` returns the workloads unchanged.
+    """
+    if n_owners == 1:
+        return dict(workloads)
+    partitioned: dict[str, GrowingDatabase] = {}
+    for stream, workload in workloads.items():
+        for index, part in enumerate(partition_stream(workload, n_owners, policy)):
+            partitioned[f"{stream}#{index}"] = part
+    return partitioned
