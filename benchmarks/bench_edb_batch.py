@@ -15,6 +15,14 @@ at the repository root:
 3. **End-to-end** -- a figure-2-style dp-timer cell per back-end in both EDB
    modes via the grid runner, asserting bit-identical results and recording
    the speedup (down-scale with ``REPRO_BENCH_EDB_SCALE`` for CI smoke).
+4. **Arena end-to-end** -- the same figure-2-scale fast-mode cell with real
+   encryption simulated, A/B-ing the two ciphertext storage layouts under an
+   otherwise identical configuration: the contiguous ciphertext arena
+   (bulk-encrypted, zero-copy views) against the per-record object store
+   that was the only layout before the arena existed.  Results must be
+   bit-identical, decrypted contents equal, and the arena run at least
+   ``REPRO_BENCH_MIN_ARENA_SPEEDUP``x faster (acceptance floor 1.3x at the
+   default scale; CI smoke overrides lower for shared-runner noise).
 """
 
 from __future__ import annotations
@@ -31,11 +39,15 @@ from repro.edb.crypte import CryptEpsilon
 from repro.edb.oblidb import ObliDB
 from repro.edb.oram import PathORAM, ReferencePathORAM
 from repro.edb.records import Record
-from repro.simulation.runner import CellSpec, run_cell
+from repro.simulation.runner import CellSpec, make_backend, run_cell
+from repro.simulation.simulator import Simulation, SimulationConfig
+from repro.workload.scenarios import build_scenario, scenario_queries
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_edb.json"
 #: Scale of the end-to-end section (CI smoke uses e.g. 0.1).
 EDB_SCALE = float(os.environ.get("REPRO_BENCH_EDB_SCALE", "0.25"))
+#: Acceptance floor for the arena-vs-objects figure2-scale speedup.
+MIN_ARENA_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_ARENA_SPEEDUP", "1.3"))
 FLUSH_SIZE = 64
 FLUSHES = 40
 
@@ -166,6 +178,84 @@ def test_ingestion_per_record_vs_batched_both_backends():
         "edb_ingestion_batch",
         f"Batched vs per-record ingestion ({FLUSHES} flushes x {FLUSH_SIZE})\n\n"
         + "\n".join(lines),
+    )
+
+
+def _run_encrypted_figure2(ciphertext_store: str):
+    """One figure2-scale fast-mode dp-timer run with real encryption.
+
+    Both arms share workload, queries, seeds and the fast columnar/ORAM
+    implementation; only the ciphertext storage layout differs, so the wall
+    clock delta is exactly the arena's contribution.
+    """
+    created = []
+
+    def factory():
+        edb = make_backend(
+            "oblidb",
+            seed=12,
+            simulate_encryption=True,
+            ciphertext_store=ciphertext_store,
+        )()
+        created.append(edb)
+        return edb
+
+    workloads = build_scenario("taxi-june", seed=2020, scale=EDB_SCALE)
+    simulation = Simulation(
+        edb_factory=factory,
+        workloads=workloads,
+        queries=list(scenario_queries("taxi-june")),
+        config=SimulationConfig(strategy="dp-timer", query_interval=360, seed=11),
+    )
+    start = time.perf_counter()
+    result = simulation.run()
+    seconds = time.perf_counter() - start
+    return result, created[0], seconds
+
+
+def test_arena_vs_object_ciphertext_store_figure2():
+    """Figure2-scale fast-mode run: ciphertext arena vs per-record objects."""
+    build_scenario("taxi-june", seed=2020, scale=EDB_SCALE)  # warm cache
+
+    object_result, object_edb, object_seconds = _run_encrypted_figure2("objects")
+    arena_result, arena_edb, arena_seconds = _run_encrypted_figure2("arena")
+
+    # Identical runs, identical decrypted server state.
+    assert arena_result.to_dict() == object_result.to_dict()
+    table = "YellowCab"
+    arena_rows = arena_edb.cipher.decrypt_many(arena_edb.ciphertexts(table))
+    object_rows = object_edb.cipher.decrypt_many(object_edb.ciphertexts(table))
+    assert [r.values for r in arena_rows] == [r.values for r in object_rows]
+    arena = arena_edb.ciphertext_arena(table)
+    assert arena is not None and len(arena) == len(arena_rows)
+
+    speedup = object_seconds / max(arena_seconds, 1e-9)
+    payload = {
+        "backend": "oblidb",
+        "edb_mode": "fast",
+        "scale": EDB_SCALE,
+        "simulate_encryption": True,
+        "stores_compared": ["objects", "arena"],
+        "objects_seconds": round(object_seconds, 4),
+        "arena_seconds": round(arena_seconds, 4),
+        "speedup": round(speedup, 2),
+        "ciphertexts": len(arena_rows),
+        "arena_grow_count": arena.grow_count,
+        "sync_count": arena_result.sync_count,
+        "results_bit_identical": True,
+    }
+    _emit("arena_figure2", payload)
+    emit_report(
+        "edb_arena_figure2",
+        f"Figure2-scale dp-timer with simulated encryption (scale={EDB_SCALE})\n\n"
+        f"object-backed ciphertexts : {object_seconds:7.3f} s\n"
+        f"ciphertext arena          : {arena_seconds:7.3f} s\n"
+        f"speedup {speedup:.2f}x over {len(arena_rows)} ciphertexts "
+        f"(floor {MIN_ARENA_SPEEDUP}x); results bit-identical",
+    )
+    assert speedup >= MIN_ARENA_SPEEDUP, (
+        f"expected >= {MIN_ARENA_SPEEDUP}x from the ciphertext arena, "
+        f"measured {speedup:.2f}x"
     )
 
 

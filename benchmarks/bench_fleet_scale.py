@@ -16,6 +16,17 @@ Emits ``BENCH_fleet.json`` at the repository root with two sections:
 The acceptance floor (simulated mean-QET speedup of the 4-shard run over the
 unsharded run) defaults to 2x; CI smoke runs at a lower scale override it via
 ``REPRO_BENCH_MIN_FLEET_QET_SPEEDUP``.
+
+3. **measured_qet** -- the *measured* counterpart of the simulated model: a
+   large hash-partitioned table is queried through thread-executor routers at
+   K in {1, 2, 4} and the section records real wall-clock per gathered query
+   (plus the router's own :class:`~repro.edb.router.WallClockStats` ledger),
+   with gathered answers asserted byte-identical to sequential execution.
+   The acceptance floor (``REPRO_BENCH_MIN_MEASURED_QET_SPEEDUP``, default
+   2x at K=4) is only meaningful when threads can actually run in parallel,
+   so it is enforced on >= 2 usable CPUs and recorded as
+   ``"skipped_single_cpu"`` otherwise -- the numbers themselves are always
+   recorded honestly alongside ``bench_environment``.
 """
 
 from __future__ import annotations
@@ -25,7 +36,16 @@ import os
 import time
 from pathlib import Path
 
-from benchmarks.conftest import emit_report, merge_bench_json
+import numpy as np
+
+from benchmarks.conftest import (
+    bench_environment,
+    emit_report,
+    merge_bench_json,
+    usable_cpus,
+)
+from repro.edb.records import Record
+from repro.edb.router import ShardRouter
 from repro.query.sql import parse_query
 from repro.simulation.runner import (
     CellSpec,
@@ -38,8 +58,15 @@ from repro.workload.scenarios import build_scenario, scenario_queries
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
 FLEET_SCALE = float(os.environ.get("REPRO_BENCH_FLEET_SCALE", "0.6"))
 MIN_QET_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_FLEET_QET_SPEEDUP", "2.0"))
+MIN_MEASURED_QET_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_MEASURED_QET_SPEEDUP", "2.0")
+)
 SHARD_COUNTS = (1, 2, 4)
 N_OWNERS = int(os.environ.get("REPRO_BENCH_FLEET_OWNERS", "2"))
+#: Row count of the measured-wall-clock section's table (scaled).
+MEASURED_ROWS = int(120_000 * FLEET_SCALE)
+#: Query-loop repetitions for stable measured timings.
+MEASURED_REPEATS = int(os.environ.get("REPRO_BENCH_MEASURED_REPEATS", "20"))
 
 
 def _queries():
@@ -116,6 +143,138 @@ def test_scatter_gather_equality_and_query_scaling(bench_settings):
     # More shards never slow a linear scan; the join decomposition makes the
     # gathered Q3 dramatically cheaper than the quadratic unsharded charge.
     assert mean_qets[4] < mean_qets[2] < mean_qets[1]
+
+
+def _measured_records(n: int) -> list[Record]:
+    rng = np.random.default_rng(17)
+    users = rng.integers(1, 200_000, size=n)
+    regions = rng.integers(1, 40, size=n)
+    values = rng.integers(0, 100, size=n)
+    return [
+        Record(
+            values={
+                "user_id": int(users[i]),
+                "region": int(regions[i]),
+                "value": int(values[i]),
+            },
+            arrival_time=i,
+            table="Users",
+        )
+        for i in range(n)
+    ]
+
+
+def _build_router(n_shards: int, executor: str) -> ShardRouter:
+    factory = make_sharded_backend(
+        "oblidb", max(n_shards, 1), seed=1, shard_executor=executor
+    )
+    router = factory()
+    router.setup([])
+    return router
+
+
+def test_measured_concurrent_query_wall_clock(bench_settings):
+    """Real wall-clock QET at K in {1, 2, 4}: threads vs the sequential loop.
+
+    The end-to-end section's QET speedup is *simulated* (max over shards);
+    this section measures what the coordinator actually waits per gathered
+    query with the thread executor, and pins the gathered answers
+    byte-identical to sequential execution first.
+    """
+    records = _measured_records(MEASURED_ROWS)
+    queries = [
+        parse_query(
+            "SELECT COUNT(*) FROM Users WHERE value BETWEEN 10 AND 70", label="Q1"
+        ),
+        parse_query(
+            "SELECT region, COUNT(*) FROM Users GROUP BY region", label="Q2"
+        ),
+        parse_query(
+            "SELECT COUNT(*) FROM Users INNER JOIN Users "
+            "ON Users.region = Users.region",
+            label="Q3",
+        ),
+    ]
+
+    routers = {k: _build_router(k, "threads") for k in SHARD_COUNTS}
+    serial_checks = {k: _build_router(k, "serial") for k in SHARD_COUNTS}
+    chunk = 2048
+    for start in range(0, len(records), chunk):
+        batch = {"Users": records[start : start + chunk]}
+        for router in (*routers.values(), *serial_checks.values()):
+            router.insert_many(batch, time=start // chunk + 1)
+
+    # Byte-identical gathered answers: threads vs sequential execution.
+    for k in SHARD_COUNTS:
+        for query in queries:
+            assert routers[k].query(query, time=0) == serial_checks[k].query(
+                query, time=0
+            ), f"executor divergence for {query.name} at K={k}"
+
+    wall: dict[int, float] = {}
+    for k, router in routers.items():
+        router.measured.reset()
+        start = time.perf_counter()
+        for _ in range(MEASURED_REPEATS):
+            for query in queries:
+                router.query(query, time=0)
+        wall[k] = time.perf_counter() - start
+
+    per_query = {
+        k: wall[k] / (MEASURED_REPEATS * len(queries)) for k in SHARD_COUNTS
+    }
+    measured_speedup = wall[1] / max(wall[4], 1e-9)
+    cpus = usable_cpus()
+    floor = (
+        "enforced"
+        if cpus >= 2
+        else "skipped_single_cpu"  # threads cannot overlap on one CPU; the
+        # measured numbers are still recorded honestly below.
+    )
+    payload = {
+        "benchmark": "measured_concurrent_qet",
+        "backend": "oblidb",
+        "edb_mode": "fast",
+        "shard_executor": "threads",
+        "records": len(records),
+        "repeats": MEASURED_REPEATS,
+        "queries": [q.name for q in queries],
+        "answers_byte_identical_to_sequential": True,
+        "measured_wall_seconds_by_shards": {
+            str(k): round(wall[k], 4) for k in SHARD_COUNTS
+        },
+        "measured_seconds_per_query_by_shards": {
+            str(k): round(per_query[k], 6) for k in SHARD_COUNTS
+        },
+        "router_measured_query_seconds": {
+            str(k): round(routers[k].measured.query_seconds, 4)
+            for k in SHARD_COUNTS
+        },
+        "measured_qet_speedup_4_shards": round(measured_speedup, 2),
+        "measured_floor": floor,
+        "min_measured_speedup": MIN_MEASURED_QET_SPEEDUP,
+        "environment": bench_environment(usable_cpus=cpus),
+    }
+    merge_bench_json(OUTPUT_PATH, "measured_qet", payload)
+    emit_report(
+        "fleet_measured_qet",
+        f"Measured scatter-gather wall clock ({len(records)} rows, "
+        f"{MEASURED_REPEATS}x{len(queries)} queries, thread executor)\n\n"
+        + "\n".join(
+            f"{k} shard(s): {per_query[k] * 1e3:8.3f} ms/query measured"
+            for k in SHARD_COUNTS
+        )
+        + f"\nmeasured QET speedup at 4 shards: {measured_speedup:.2f}x "
+        f"(floor {MIN_MEASURED_QET_SPEEDUP}x, {floor}; {cpus} usable CPUs)\n"
+        "answers byte-identical to sequential execution at every K",
+    )
+    for router in (*routers.values(), *serial_checks.values()):
+        router.close()
+    if floor == "enforced":
+        assert measured_speedup >= MIN_MEASURED_QET_SPEEDUP, (
+            f"expected >= {MIN_MEASURED_QET_SPEEDUP}x measured wall-clock QET "
+            f"speedup at 4 shards on {cpus} CPUs, measured {measured_speedup:.2f}x"
+        )
 
 
 def test_fleet_end_to_end_throughput(bench_settings):

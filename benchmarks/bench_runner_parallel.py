@@ -32,7 +32,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from benchmarks.conftest import bench_environment, emit_report
+from benchmarks.conftest import usable_cpus, bench_environment, emit_report
 from repro.simulation.runner import ExperimentGrid, GridRunner
 
 N_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
@@ -55,17 +55,10 @@ def figure_grid() -> ExperimentGrid:
     )
 
 
-def _available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
-
-
 def test_grid_runner_speedup_and_determinism(bench_settings):
     grid = figure_grid()
     n_cells = len(grid)
-    cpus = _available_cpus()
+    cpus = usable_cpus()
 
     start = time.perf_counter()
     serial = GridRunner(n_workers=1).run(grid)

@@ -84,6 +84,20 @@ def bench_settings() -> dict:
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    The single source of the CPU-detection rule: wall-clock speedup floors
+    (process pools, thread-executor scatter) and ``bench_environment`` all
+    gate on this, so a future refinement (e.g. cgroup quota awareness) lands
+    in one place.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def bench_environment(**extra) -> dict:
     """Hardware + mode flags stamped into every ``BENCH_*.json`` payload.
 
@@ -92,13 +106,9 @@ def bench_environment(**extra) -> dict:
     EDB mode changes every absolute number.  Benchmarks pass payload-specific
     mode flags through ``extra``.
     """
-    try:
-        affinity = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        affinity = os.cpu_count() or 1
     env = {
         "cpu_count": os.cpu_count(),
-        "affinity_cpus": affinity,
+        "affinity_cpus": usable_cpus(),
         "bench_scale": BENCH_SCALE,
         "bench_seed": BENCH_SEED,
         "bench_workers": BENCH_WORKERS,

@@ -1,0 +1,148 @@
+"""Hot-path profiling harness: where do the flagship workloads spend time?
+
+Every perf PR should start from data, not intuition.  This harness runs the
+two flagship workloads under ``cProfile`` and persists the top-20
+cumulative-time functions:
+
+1. **figure2** -- the figure-2-style dp-timer cell (taxi-june) that the EDB
+   fast-path benchmarks measure, with real encryption simulated so the
+   ciphertext path shows up in the profile;
+2. **fleet_k4** -- the 2-owner x 4-shard million-users fleet cell behind
+   ``BENCH_fleet.json``.
+
+Artifacts land in ``benchmarks/output/``:
+
+* ``profile_<name>.txt``  -- the rendered ``pstats`` table (top 20 by
+  cumulative time), the file to read before touching a hot loop;
+* ``profile_<name>.json`` -- the same entries as structured data
+  (``file:line(function)``, call counts, tottime, cumtime) so future PRs can
+  diff profiles mechanically.
+
+Knobs:
+
+* ``REPRO_PROFILE_SCALE`` -- workload scale (default 0.25, the figure2 bench
+  scale).  CI's perf-smoke job runs a small scale purely to check the harness
+  stays runnable ("check mode"); absolute times at tiny scales are noise.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import os
+import pstats
+from pathlib import Path
+
+from benchmarks.conftest import OUTPUT_DIR, bench_environment, emit_report
+from repro.simulation.runner import CellSpec, run_cell
+
+PROFILE_SCALE = float(os.environ.get("REPRO_PROFILE_SCALE", "0.25"))
+TOP_N = 20
+
+FIGURE2_SPEC = CellSpec(
+    strategy="dp-timer",
+    backend="oblidb",
+    scenario="taxi-june",
+    scale=PROFILE_SCALE,
+    query_interval=360,
+    simulate_encryption=True,
+    sim_seed=11,
+    backend_seed=12,
+    workload_seed=2020,
+)
+
+FLEET_K4_SPEC = CellSpec(
+    strategy="dp-timer",
+    backend="oblidb",
+    scenario="million-users",
+    scale=min(1.0, PROFILE_SCALE * 2.4),
+    query_interval=720,
+    n_owners=2,
+    n_shards=4,
+    sim_seed=13,
+    backend_seed=1,
+    workload_seed=7,
+)
+
+
+def _top_functions(stats: pstats.Stats, limit: int = TOP_N) -> list[dict]:
+    """The ``limit`` hottest functions by cumulative time, as plain dicts."""
+    rows = []
+    for (filename, line, function), (
+        primitive_calls,
+        total_calls,
+        tottime,
+        cumtime,
+        _callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append(
+            {
+                "function": f"{Path(filename).name}:{line}({function})",
+                "calls": total_calls,
+                "primitive_calls": primitive_calls,
+                "tottime_seconds": round(tottime, 6),
+                "cumtime_seconds": round(cumtime, 6),
+            }
+        )
+    rows.sort(key=lambda row: row["cumtime_seconds"], reverse=True)
+    return rows[:limit]
+
+
+def _profile_cell(name: str, spec: CellSpec) -> list[dict]:
+    """Profile one cell run; write txt + json artifacts, return the top rows."""
+    import dataclasses
+
+    # Warm the per-process scenario cache so the profile shows the engine and
+    # EDB, not one-off workload construction.
+    run_cell(dataclasses.replace(spec, horizon=10))
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_cell(spec)
+    profiler.disable()
+    assert result.sync_count > 0  # the profiled run actually did work
+
+    rendered = io.StringIO()
+    stats = pstats.Stats(profiler, stream=rendered)
+    stats.sort_stats("cumulative").print_stats(TOP_N)
+    top = _top_functions(stats)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"profile_{name}.txt").write_text(rendered.getvalue())
+    payload = {
+        "workload": name,
+        "spec": spec.to_dict(),
+        "top_functions": top,
+        "environment": bench_environment(profile_scale=PROFILE_SCALE),
+    }
+    (OUTPUT_DIR / f"profile_{name}.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    return top
+
+
+def _check(name: str, top: list[dict]) -> None:
+    assert len(top) == TOP_N
+    assert all(row["cumtime_seconds"] >= 0.0 for row in top)
+    assert (OUTPUT_DIR / f"profile_{name}.txt").exists()
+    assert (OUTPUT_DIR / f"profile_{name}.json").exists()
+    emit_report(
+        f"profile_{name}",
+        f"Top-{TOP_N} cumulative functions ({name}, scale={PROFILE_SCALE})\n\n"
+        + "\n".join(
+            f"{row['cumtime_seconds']:9.4f} s  {row['calls']:>8} calls  "
+            f"{row['function']}"
+            for row in top
+        ),
+    )
+
+
+def test_profile_figure2_hotpath():
+    """Profile the figure2-scale encrypted dp-timer run."""
+    _check("figure2", _profile_cell("figure2", FIGURE2_SPEC))
+
+
+def test_profile_fleet_k4_hotpath():
+    """Profile the 2-owner x 4-shard fleet run."""
+    _check("fleet_k4", _profile_cell("fleet_k4", FLEET_K4_SPEC))

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.cache import CacheMode, LocalCache
 from repro.dp.composition import PrivacyAccountant
+from repro.dp.mechanisms import LaplaceBlockStream
 from repro.edb.records import Record
 
 __all__ = ["SyncDecision", "SyncStrategy"]
@@ -93,6 +94,13 @@ class SyncStrategy(abc.ABC):
     ) -> None:
         self._dummy_factory = dummy_factory
         self._rng = rng if rng is not None else np.random.default_rng()
+        # All Laplace noise of the strategy flows through one block-predrawn
+        # stream: the k-th draw is bit-identical to the k-th direct draw from
+        # ``self._rng`` (see LaplaceBlockStream), but the per-event dispatch
+        # overhead is amortized over whole blocks.  Strategies needing other
+        # distributions must keep using ``self._rng`` directly and forgo the
+        # stream (mixing both on one generator would reorder the bit stream).
+        self._noise = LaplaceBlockStream(self._rng)
         self.cache = LocalCache(dummy_factory, mode=cache_mode)
         self.accountant = PrivacyAccountant()
         self._received_total = 0

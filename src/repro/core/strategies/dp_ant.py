@@ -112,9 +112,9 @@ class DPANTStrategy(SyncStrategy):
         return self._epsilon_fetch
 
     def _initial_records(self, initial: Sequence[Record]) -> list[Record]:
-        gamma0 = perturb(len(initial), self._epsilon, self.cache, self._rng, 0)
+        gamma0 = perturb(len(initial), self._epsilon, self.cache, self._noise, 0)
         self.accountant.spend(self._epsilon, partition="setup", label="M_setup")
-        self._sparse.reset(self._rng)
+        self._sparse.reset(self._noise)
         return gamma0
 
     def next_event(self, now: int) -> int | None:
@@ -139,12 +139,12 @@ class DPANTStrategy(SyncStrategy):
         records: list[Record] = []
         reasons: list[str] = []
 
-        fired = self._sparse.step(self._round_received, self._rng)
+        fired = self._sparse.step(self._round_received, self._noise)
         self._comparison_pending = fired
         if fired:
             self._round_index += 1
             records.extend(
-                perturb(self._round_received, self._epsilon_fetch, self.cache, self._rng, time)
+                perturb(self._round_received, self._epsilon_fetch, self.cache, self._noise, time)
             )
             # One sparse-vector round costs eps1 (comparisons) + eps2 (fetch);
             # rounds act on disjoint data slices, hence their own partition.

@@ -110,7 +110,7 @@ class DPTimerStrategy(SyncStrategy):
         return min(candidates)
 
     def _initial_records(self, initial: Sequence[Record]) -> list[Record]:
-        gamma0 = perturb(len(initial), self._epsilon, self.cache, self._rng, 0)
+        gamma0 = perturb(len(initial), self._epsilon, self.cache, self._noise, 0)
         self.accountant.spend(self._epsilon, partition="setup", label="M_setup")
         return gamma0
 
@@ -127,7 +127,7 @@ class DPTimerStrategy(SyncStrategy):
             count = (
                 self._window_received if self._count_mode == "window" else len(self.cache)
             )
-            records.extend(perturb(count, self._epsilon, self.cache, self._rng, time))
+            records.extend(perturb(count, self._epsilon, self.cache, self._noise, time))
             self.accountant.spend(
                 self._epsilon,
                 partition=f"window-{self._window_index}",

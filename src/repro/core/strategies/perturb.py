@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.cache import LocalCache
-from repro.dp.mechanisms import LaplaceMechanism
+from repro.dp.mechanisms import LaplaceBlockStream, LaplaceMechanism
 from repro.edb.records import Record
 
 __all__ = ["perturb"]
@@ -22,7 +22,7 @@ def perturb(
     count: int,
     epsilon: float,
     cache: LocalCache,
-    rng: np.random.Generator,
+    rng: "np.random.Generator | LaplaceBlockStream",
     current_time: int = 0,
 ) -> list[Record]:
     """Algorithm 2: fetch a Laplace-perturbed number of records from the cache.
@@ -36,7 +36,9 @@ def perturb(
     cache:
         The owner's local cache to read from.
     rng:
-        Random generator for the Laplace draw.
+        Random generator -- or a strategy's :class:`LaplaceBlockStream`,
+        which serves the same draws from predrawn blocks -- for the Laplace
+        noise.
     current_time:
         Time stamped onto any dummy padding records.
 

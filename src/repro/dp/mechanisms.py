@@ -24,10 +24,75 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = [
+    "LaplaceBlockStream",
     "LaplaceMechanism",
     "GeometricMechanism",
     "AboveThreshold",
 ]
+
+
+class LaplaceBlockStream:
+    """Block-predrawn Laplace noise with a draw order identical to its source.
+
+    The synchronization hot loops (DP-Timer's per-window Perturb, DP-ANT's
+    per-tick sparse-vector comparison) each make one scalar
+    ``Generator.laplace`` call per event; the per-call dispatch overhead
+    dominates the actual sampling.  This stream pre-draws *standard* Laplace
+    variates in blocks of ``block_size`` and hands them out one at a time,
+    scaled on demand.
+
+    Exactness contract (pinned by the golden traces and the bit-identity
+    test in ``tests/test_dp_mechanisms.py``): NumPy fills a Laplace array
+    from the same underlying bit stream as repeated scalar draws, and a
+    ``Laplace(0, scale)`` draw equals ``scale * Laplace(0, 1)`` bit-for-bit
+    (the sampler computes ``±scale * log(2u)``, so the multiplication is the
+    same single rounding either way).  The k-th value produced through the
+    stream therefore equals the k-th value the wrapped generator would have
+    produced directly -- for any interleaving of scales -- as long as *all*
+    Laplace consumption of that generator goes through the stream.  The
+    stream intentionally exposes the ``laplace(loc, scale)`` method surface
+    of :class:`numpy.random.Generator` so mechanisms accept either.
+
+    Non-Laplace draws are deliberately not proxied: a strategy mixing
+    distributions on one generator must keep using the raw generator, where
+    the per-call cost is the price of an exact stream.
+    """
+
+    __slots__ = ("_rng", "_block_size", "_block", "_cursor")
+
+    def __init__(self, rng: np.random.Generator, block_size: int = 256) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self._rng = rng
+        self._block_size = block_size
+        self._block = np.empty(0)
+        self._cursor = 0
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The wrapped generator (its state runs ahead by the predrawn block)."""
+        return self._rng
+
+    def standard(self) -> float:
+        """The next standard ``Laplace(0, 1)`` variate."""
+        if self._cursor >= self._block.shape[0]:
+            self._block = self._rng.laplace(0.0, 1.0, size=self._block_size)
+            self._cursor = 0
+        value = self._block[self._cursor]
+        self._cursor += 1
+        return float(value)
+
+    def laplace(self, loc: float = 0.0, scale: float = 1.0) -> float:
+        """Drop-in for ``Generator.laplace`` on scalars, served from the block.
+
+        ``loc == 0`` (every DP mechanism here) multiplies the predrawn
+        standard variate by ``scale``, which is bit-identical to a direct
+        scaled draw; a nonzero ``loc`` adds it afterwards.
+        """
+        value = scale * self.standard()
+        if loc == 0.0:
+            return value
+        return loc + value
 
 
 @dataclass
@@ -57,11 +122,15 @@ class LaplaceMechanism:
         """Laplace scale ``sensitivity / epsilon``."""
         return self.sensitivity / self.epsilon
 
-    def randomize(self, value: float, rng: np.random.Generator) -> float:
+    def randomize(
+        self, value: float, rng: "np.random.Generator | LaplaceBlockStream"
+    ) -> float:
         """Return ``value + Lap(sensitivity / epsilon)``."""
         return float(value) + float(rng.laplace(0.0, self.scale))
 
-    def randomize_count(self, count: int, rng: np.random.Generator) -> int:
+    def randomize_count(
+        self, count: int, rng: "np.random.Generator | LaplaceBlockStream"
+    ) -> int:
         """Return a rounded, possibly-negative noisy count.
 
         DP-Sync's ``Perturb`` operator rounds the noisy count to an integer
@@ -167,7 +236,7 @@ class AboveThreshold:
         """The current noisy threshold (NaN before :meth:`reset`)."""
         return self._noisy_threshold
 
-    def reset(self, rng: np.random.Generator) -> float:
+    def reset(self, rng: "np.random.Generator | LaplaceBlockStream") -> float:
         """Draw a fresh noisy threshold; returns it for inspection."""
         self._noisy_threshold = self.theta + float(
             rng.laplace(0.0, self.threshold_scale)
@@ -176,7 +245,9 @@ class AboveThreshold:
         self._initialized = True
         return self._noisy_threshold
 
-    def step(self, count: float, rng: np.random.Generator) -> bool:
+    def step(
+        self, count: float, rng: "np.random.Generator | LaplaceBlockStream"
+    ) -> bool:
         """Compare a (true) running count against the noisy threshold.
 
         Adds ``Lap(4 / epsilon)`` noise to ``count`` (fresh per step, or the

@@ -32,7 +32,12 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.edb.cost_model import CostModel, CostParameters, UnsupportedQueryError
-from repro.edb.crypto import EncryptedRecord, RecordCipher
+from repro.edb.crypto import (
+    ArenaRecord,
+    CiphertextArena,
+    EncryptedRecord,
+    RecordCipher,
+)
 from repro.edb.leakage import LeakageClass, LeakageProfile
 from repro.edb.records import Record, count_dummy
 from repro.query.ast import Query
@@ -41,11 +46,13 @@ from repro.query.executor import Answer, PlaintextExecutor
 
 __all__ = [
     "EDB_MODES",
+    "CIPHERTEXT_STORES",
     "UpdateResult",
     "QueryResult",
     "EncryptedDatabase",
     "UnsupportedQueryError",
     "resolve_edb_mode",
+    "resolve_ciphertext_store",
 ]
 
 #: Implementation modes shared by every back-end: ``"fast"`` runs the
@@ -61,6 +68,31 @@ def resolve_edb_mode(mode: str) -> str:
     normalized = mode.lower()
     if normalized not in EDB_MODES:
         raise ValueError(f"edb mode must be one of {EDB_MODES}, got {mode!r}")
+    return normalized
+
+
+#: Server-side ciphertext layouts when encryption is simulated: ``"arena"``
+#: keeps all ciphertexts of a table in one contiguous capacity-doubling
+#: ndarray (bulk encrypt, zero-copy views); ``"objects"`` keeps one owning
+#: :class:`EncryptedRecord` per record (the per-record reference path).
+CIPHERTEXT_STORES = ("arena", "objects")
+
+
+def resolve_ciphertext_store(store: str | None, mode: str) -> str:
+    """Normalize a ciphertext-store flag, defaulting from the EDB mode.
+
+    ``None`` follows the implementation mode (fast -> arena, reference ->
+    objects); an explicit value overrides it, which the differential bench
+    uses to A/B the storage layouts under an otherwise identical fast-mode
+    configuration.
+    """
+    if store is None:
+        return "arena" if resolve_edb_mode(mode) == "fast" else "objects"
+    normalized = store.lower()
+    if normalized not in CIPHERTEXT_STORES:
+        raise ValueError(
+            f"ciphertext store must be one of {CIPHERTEXT_STORES}, got {store!r}"
+        )
     return normalized
 
 
@@ -124,6 +156,7 @@ class EncryptedDatabase:
         simulate_encryption: bool = False,
         rng: np.random.Generator | None = None,
         mode: str = "fast",
+        ciphertext_store: str | None = None,
     ) -> None:
         self._cost_model = CostModel(cost_parameters)
         self._scheme_name = scheme_name
@@ -131,11 +164,13 @@ class EncryptedDatabase:
         self._simulate_encryption = simulate_encryption
         self._rng = rng if rng is not None else np.random.default_rng()
         self._mode = resolve_edb_mode(mode)
+        self._ciphertext_store = resolve_ciphertext_store(ciphertext_store, self._mode)
         self._cipher = RecordCipher() if simulate_encryption else None
         self._executor = (
             ColumnarExecutor() if self._mode == "fast" else PlaintextExecutor()
         )
         self._ciphertexts: dict[str, list[EncryptedRecord]] = {}
+        self._arenas: dict[str, CiphertextArena] = {}
         self._table_totals: dict[str, int] = {}
         self._table_dummies: dict[str, int] = {}
         self._update_history: list[UpdateResult] = []
@@ -205,6 +240,11 @@ class EncryptedDatabase:
         return self._mode
 
     @property
+    def ciphertext_store(self) -> str:
+        """Ciphertext layout when encryption is simulated: arena or objects."""
+        return self._ciphertext_store
+
+    @property
     def is_setup(self) -> bool:
         """Whether Setup has run."""
         return self._is_setup
@@ -242,9 +282,26 @@ class EncryptedDatabase:
         """Dummy ciphertext count for one table."""
         return self._table_dummies.get(table, 0)
 
-    def ciphertexts(self, table: str) -> Sequence[EncryptedRecord]:
-        """Stored ciphertexts (only populated when encryption is simulated)."""
+    def ciphertexts(self, table: str) -> Sequence[EncryptedRecord | ArenaRecord]:
+        """Stored ciphertexts (only populated when encryption is simulated).
+
+        Arena-backed tables return zero-copy :class:`ArenaRecord` views; the
+        object-backed store returns the owning :class:`EncryptedRecord`\\ s.
+        Both expose the same ``ciphertext``/``handle``/``size_bytes`` surface.
+        """
+        if self._ciphertext_store == "arena":
+            arena = self._arenas.get(table)
+            return arena.records() if arena is not None else ()
         return tuple(self._ciphertexts.get(table, ()))
+
+    def ciphertext_arena(self, table: str) -> CiphertextArena | None:
+        """The table's backing arena (``None`` for object-backed storage)."""
+        return self._arenas.get(table)
+
+    @property
+    def cipher(self) -> RecordCipher | None:
+        """The record cipher (``None`` unless encryption is simulated)."""
+        return self._cipher
 
     @property
     def cost_model(self) -> CostModel:
@@ -301,8 +358,14 @@ class EncryptedDatabase:
             self._table_totals[table] = self._table_totals.get(table, 0) + len(rows)
             self._table_dummies[table] = self._table_dummies.get(table, 0) + table_dummies
             if self._cipher is not None:
-                encrypted = self._cipher.encrypt_many(rows)
-                self._ciphertexts.setdefault(table, []).extend(encrypted)
+                if self._ciphertext_store == "arena":
+                    arena = self._arenas.get(table)
+                    if arena is None:
+                        arena = self._arenas[table] = CiphertextArena()
+                    self._cipher.encrypt_many_into(rows, arena)
+                else:
+                    encrypted = self._cipher.encrypt_many(rows)
+                    self._ciphertexts.setdefault(table, []).extend(encrypted)
             self._on_records_stored(table, rows)
 
         bytes_added = self._cost_model.storage_bytes(num_records)

@@ -57,6 +57,7 @@ class CryptEpsilon(EncryptedDatabase):
         cost_parameters: CostParameters = CRYPTE_COSTS,
         rng: np.random.Generator | None = None,
         mode: str = "fast",
+        ciphertext_store: str | None = None,
     ) -> None:
         if query_epsilon <= 0:
             raise ValueError("query_epsilon must be positive")
@@ -67,6 +68,7 @@ class CryptEpsilon(EncryptedDatabase):
             simulate_encryption=simulate_encryption,
             rng=rng,
             mode=mode,
+            ciphertext_store=ciphertext_store,
         )
         self._query_epsilon = query_epsilon
         self._round_answers = round_answers

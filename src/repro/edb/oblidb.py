@@ -61,6 +61,7 @@ class ObliDB(EncryptedDatabase):
         cost_parameters: CostParameters = OBLIDB_COSTS,
         rng: np.random.Generator | None = None,
         mode: str = "fast",
+        ciphertext_store: str | None = None,
     ) -> None:
         if storage_mode not in ("flat", "oram"):
             raise ValueError(f"storage_mode must be 'flat' or 'oram', got {storage_mode!r}")
@@ -71,6 +72,7 @@ class ObliDB(EncryptedDatabase):
             simulate_encryption=simulate_encryption,
             rng=rng,
             mode=mode,
+            ciphertext_store=ciphertext_store,
         )
         self._storage_mode = storage_mode
         self._oram_capacity = oram_capacity

@@ -221,14 +221,35 @@ class PathORAM:
 
         # Per-item RNG draws, in the same order as sequential accesses: one
         # path draw for an absent block, then one remap draw for every item.
-        read_leaves = np.empty(k, dtype=np.int64)
-        for index, (block_id, _) in enumerate(items):
-            leaf = self._position_map.get(block_id)
-            if leaf is None:
-                leaf = int(self._rng.integers(0, leaves_n))
-            new_leaf = int(self._rng.integers(0, leaves_n))
-            self._position_map[block_id] = new_leaf
-            read_leaves[index] = leaf
+        position_map = self._position_map
+        batch_ids = {block_id for block_id, _ in items}
+        if (
+            is_write
+            and k > 1
+            and len(batch_ids) == k
+            and not any(block_id in position_map for block_id in batch_ids)
+        ):
+            # Pure-insert batch of distinct blocks (the ingest hot loop):
+            # every item draws exactly (read leaf, remap leaf), so the whole
+            # interleaved sequence is one vectorized draw of 2k integers --
+            # NumPy fills bounded-integer arrays from the same bit stream as
+            # repeated single draws, which the lockstep position-map tests
+            # pin.  A batch re-writing an existing block (or repeating an id)
+            # falls back to the per-item loop, whose draw count is data
+            # dependent.
+            draws = self._rng.integers(0, leaves_n, size=2 * k)
+            read_leaves = draws[0::2].copy()
+            for index, (block_id, _) in enumerate(items):
+                position_map[block_id] = int(draws[2 * index + 1])
+        else:
+            read_leaves = np.empty(k, dtype=np.int64)
+            for index, (block_id, _) in enumerate(items):
+                leaf = position_map.get(block_id)
+                if leaf is None:
+                    leaf = int(self._rng.integers(0, leaves_n))
+                new_leaf = int(self._rng.integers(0, leaves_n))
+                position_map[block_id] = new_leaf
+                read_leaves[index] = leaf
 
         # Vectorized root-to-leaf node indices: ancestor of leaf ``l`` at
         # depth ``d`` is ``((l + num_leaves) >> (height - d)) - 1``.

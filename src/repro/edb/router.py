@@ -27,6 +27,18 @@ they would to one EDB; the router
   deployment to the same ``(time, volume)`` leakage as an unsharded one,
   while :meth:`per_shard_observables` gives the finer per-shard view.
 
+Shard fan-out runs on a **pluggable executor** (``executor="threads"`` by
+default): Setup, per-shard batched Updates and scatter queries execute
+concurrently on a thread pool sized to the shard count -- the columnar /
+ndarray shard work spends its time in NumPy kernels and hash primitives that
+release the GIL, so on multi-core hardware the per-shard *simulated* QET
+model (max over shards) is matched by a real wall-clock speedup, which
+:attr:`measured` records.  ``executor="serial"`` keeps the original
+sequential loop.  Shards are mutated only by their own call and partials are
+merged in shard-index order, so answers, transcripts and per-shard state are
+byte-identical under either executor (``tests/test_scatter_concurrency.py``
+pins this).
+
 With ``K = 1`` every call is forwarded verbatim to the single shard, so a
 one-shard router is byte-identical to the unrouted back-end in every
 observable (``tests/test_shard_router.py`` pins this).
@@ -35,21 +47,75 @@ observable (``tests/test_shard_router.py`` pins this).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Mapping, Sequence
+import time as _time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.edb.base import EncryptedDatabase, QueryResult, UpdateResult
 from repro.edb.cost_model import CostModel, UnsupportedQueryError
 from repro.edb.leakage import LeakageProfile, update_pattern_observables
 from repro.edb.records import Record
-from repro.query.ast import GroupByCountQuery, JoinCountQuery, Query
+from repro.query.ast import JoinCountQuery, Query
 from repro.query.scatter import (
     join_count_from_histograms,
     join_side_probes,
     merge_grouped_counts,
-    merge_scalar_counts,
+    merge_partial_answers,
+    scatter_map,
 )
 
-__all__ = ["ShardRouter"]
+__all__ = ["SHARD_EXECUTORS", "WallClockStats", "ShardRouter", "resolve_shard_executor"]
+
+#: Supported shard fan-out executors: ``"threads"`` scatters protocol calls
+#: across a pool with one worker per shard; ``"serial"`` visits shards in a
+#: plain loop.  Observables are identical either way; only wall clock moves.
+SHARD_EXECUTORS = ("threads", "serial")
+
+
+def resolve_shard_executor(executor: str) -> str:
+    """Validate (and normalize) a shard-executor flag."""
+    normalized = executor.lower()
+    if normalized not in SHARD_EXECUTORS:
+        raise ValueError(
+            f"shard executor must be one of {SHARD_EXECUTORS}, got {executor!r}"
+        )
+    return normalized
+
+
+@dataclass
+class WallClockStats:
+    """Measured wall-clock spent inside the router's protocol surface.
+
+    This is the *measured* counterpart of the simulated cost model: QET and
+    ingest durations reported in protocol results stay model-derived (and
+    hardware independent), while these counters record what the coordinator
+    actually waited, so benchmarks can put real and simulated speedups side
+    by side without conflating them.
+
+    Every surface counts *attempts*: a call that raises (unsupported query,
+    pre-Setup protocol error) still contributes its call and wall clock, so
+    calls/seconds share one basis across setup/update/query.
+    """
+
+    setup_seconds: float = 0.0
+    update_calls: int = 0
+    update_seconds: float = 0.0
+    query_calls: int = 0
+    query_seconds: float = 0.0
+
+    @property
+    def mean_query_seconds(self) -> float:
+        """Mean measured wall clock per gathered query."""
+        return self.query_seconds / self.query_calls if self.query_calls else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters (benchmarks reset between phases)."""
+        self.setup_seconds = 0.0
+        self.update_calls = 0
+        self.update_seconds = 0.0
+        self.query_calls = 0
+        self.query_seconds = 0.0
 
 
 class ShardRouter:
@@ -64,16 +130,63 @@ class ShardRouter:
     route_seed:
         Seed folded into the routing hash; two routers with equal seeds and
         shard counts route identically.
+    executor:
+        Shard fan-out executor: ``"threads"`` (default) runs per-shard
+        protocol work on a thread pool with one worker per shard,
+        ``"serial"`` visits shards sequentially.  Gathered answers and all
+        transcripts are byte-identical across executors.
     """
 
-    def __init__(self, shards: Sequence[EncryptedDatabase], route_seed: int = 0) -> None:
+    def __init__(
+        self,
+        shards: Sequence[EncryptedDatabase],
+        route_seed: int = 0,
+        executor: str = "threads",
+    ) -> None:
         shards = list(shards)
         if not shards:
             raise ValueError("a ShardRouter needs at least one shard")
         self._shards = shards
         self._route_seed = int(route_seed)
+        self._executor = resolve_shard_executor(executor)
+        self._pool: ThreadPoolExecutor | None = None
         self._ordinals: dict[str, int] = {}
         self._update_history: list[UpdateResult] = []
+        self.measured = WallClockStats()
+
+    # -- executor ------------------------------------------------------------
+
+    @property
+    def shard_executor(self) -> str:
+        """The configured fan-out executor (``"threads"`` or ``"serial"``)."""
+        return self._executor
+
+    def _map(self, fn: Callable, items: Sequence) -> list:
+        """Scatter ``fn`` over ``items``, gathering results in item order."""
+        executor_map = None
+        if self._executor == "threads" and len(items) > 1:
+            executor_map = self._pool_map
+        return scatter_map(executor_map, fn, items)
+
+    def _pool_map(self, fn: Callable, items: Sequence) -> list:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=len(self._shards),
+                thread_name_prefix="shard-router",
+            )
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        """Shut down the fan-out thread pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- topology -----------------------------------------------------------
 
@@ -104,62 +217,81 @@ class ShardRouter:
 
     def setup(self, records: Iterable[Record], time: int = 0) -> UpdateResult:
         """Run Setup on every shard (each must be initialized, even if empty)."""
-        if len(self._shards) == 1:
-            result = self._shards[0].setup(records, time=time)
-            self._update_history.append(result)
-            return result
-        parts = self._partition(self._group(records))
-        results = [
-            shard.setup([r for rows in part.values() for r in rows], time=time)
-            for shard, part in zip(self._shards, parts)
-        ]
-        return self._aggregate(results, time)
+        started = _time.perf_counter()
+        try:
+            if len(self._shards) == 1:
+                result = self._shards[0].setup(records, time=time)
+                self._update_history.append(result)
+                return result
+            parts = self._partition(self._group(records))
+            results = self._map(
+                lambda pair: pair[0].setup(
+                    [r for rows in pair[1].values() for r in rows], time=time
+                ),
+                list(zip(self._shards, parts)),
+            )
+            return self._aggregate(results, time)
+        finally:
+            self.measured.setup_seconds += _time.perf_counter() - started
 
     def update(self, records: Iterable[Record], time: int) -> UpdateResult:
         """Run Update on the shards receiving records (empty γ goes to shard 0)."""
-        if len(self._shards) == 1:
-            result = self._shards[0].update(records, time=time)
-            self._update_history.append(result)
-            return result
-        parts = self._partition(self._group(records))
-        return self._scatter_update(parts, time)
+        started = _time.perf_counter()
+        try:
+            if len(self._shards) == 1:
+                result = self._shards[0].update(records, time=time)
+                self._update_history.append(result)
+                return result
+            parts = self._partition(self._group(records))
+            return self._scatter_update(parts, time)
+        finally:
+            self.measured.update_calls += 1
+            self.measured.update_seconds += _time.perf_counter() - started
 
     def insert_many(
         self, batches: Mapping[str, Sequence[Record]], time: int
     ) -> UpdateResult:
         """Batched Update: records pre-grouped by table, routed per record."""
-        if len(self._shards) == 1:
-            result = self._shards[0].insert_many(batches, time=time)
-            self._update_history.append(result)
-            return result
-        grouped = {table: list(rows) for table, rows in batches.items() if rows}
-        parts = self._partition(grouped)
-        return self._scatter_update(parts, time)
+        started = _time.perf_counter()
+        try:
+            if len(self._shards) == 1:
+                result = self._shards[0].insert_many(batches, time=time)
+                self._update_history.append(result)
+                return result
+            grouped = {table: list(rows) for table, rows in batches.items() if rows}
+            parts = self._partition(grouped)
+            return self._scatter_update(parts, time)
+        finally:
+            self.measured.update_calls += 1
+            self.measured.update_seconds += _time.perf_counter() - started
 
     def query(self, query: Query, time: int = 0) -> QueryResult:
         """Scatter the query to every shard and gather the partial aggregates."""
-        if len(self._shards) == 1:
-            return self._shards[0].query(query, time=time)
-        if not self.is_setup:
-            raise RuntimeError("Query invoked before Setup")
-        if not self.supports(query):
-            raise UnsupportedQueryError(
-                f"{self.scheme_name} does not support {type(query).__name__}"
+        started = _time.perf_counter()
+        try:
+            if len(self._shards) == 1:
+                return self._shards[0].query(query, time=time)
+            if not self.is_setup:
+                raise RuntimeError("Query invoked before Setup")
+            if not self.supports(query):
+                raise UnsupportedQueryError(
+                    f"{self.scheme_name} does not support {type(query).__name__}"
+                )
+            if isinstance(query, JoinCountQuery):
+                return self._gather_join(query, time)
+            results = self._map(
+                lambda shard: shard.query(query, time=time), self._shards
             )
-        if isinstance(query, JoinCountQuery):
-            return self._gather_join(query, time)
-        results = [shard.query(query, time=time) for shard in self._shards]
-        if isinstance(query, GroupByCountQuery):
-            answer = merge_grouped_counts([r.answer for r in results])
-        else:
-            answer = merge_scalar_counts([r.answer for r in results])
-        return QueryResult(
-            query_name=query.name,
-            answer=answer,
-            qet_seconds=max(r.qet_seconds for r in results),
-            records_scanned=sum(r.records_scanned for r in results),
-            noise_injected=any(r.noise_injected for r in results),
-        )
+            return QueryResult(
+                query_name=query.name,
+                answer=merge_partial_answers(query, [r.answer for r in results]),
+                qet_seconds=max(r.qet_seconds for r in results),
+                records_scanned=sum(r.records_scanned for r in results),
+                noise_injected=any(r.noise_injected for r in results),
+            )
+        finally:
+            self.measured.query_calls += 1
+            self.measured.query_seconds += _time.perf_counter() - started
 
     # -- observable state ----------------------------------------------------
 
@@ -263,15 +395,16 @@ class ShardRouter:
     def _scatter_update(
         self, parts: Sequence[Mapping[str, Sequence[Record]]], time: int
     ) -> UpdateResult:
-        results = []
         touched = [index for index, part in enumerate(parts) if part]
         if not touched:
             # An empty synchronization is still one observable protocol
             # round-trip; it travels through the first shard.
-            results.append(self._shards[0].insert_many({}, time=time))
+            results = [self._shards[0].insert_many({}, time=time)]
         else:
-            for index in touched:
-                results.append(self._shards[index].insert_many(parts[index], time=time))
+            results = self._map(
+                lambda index: self._shards[index].insert_many(parts[index], time=time),
+                touched,
+            )
         return self._aggregate(results, time)
 
     def _aggregate(self, results: Sequence[UpdateResult], time: int) -> UpdateResult:
@@ -299,14 +432,19 @@ class ShardRouter:
         probe total.
         """
         left_probe, right_probe = join_side_probes(query)
+        probe_pairs = self._map(
+            lambda shard: (
+                shard.query(left_probe, time=time),
+                shard.query(right_probe, time=time),
+            ),
+            self._shards,
+        )
         left_parts: list[Mapping] = []
         right_parts: list[Mapping] = []
         shard_qets: list[float] = []
         scanned = 0
         noise = False
-        for shard in self._shards:
-            left_result = shard.query(left_probe, time=time)
-            right_result = shard.query(right_probe, time=time)
+        for left_result, right_result in probe_pairs:
             left_parts.append(left_result.answer)
             right_parts.append(right_result.answer)
             shard_qets.append(left_result.qet_seconds + right_result.qet_seconds)

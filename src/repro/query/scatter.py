@@ -28,16 +28,40 @@ sharding is not accuracy-free there the way it is on exact back-ends.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence, TypeVar
 
-from repro.query.ast import GroupByCountQuery, JoinCountQuery
+from repro.query.ast import GroupByCountQuery, JoinCountQuery, Query
 
 __all__ = [
     "merge_scalar_counts",
     "merge_grouped_counts",
+    "merge_partial_answers",
     "join_count_from_histograms",
     "join_side_probes",
+    "scatter_map",
 ]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def scatter_map(
+    executor_map: "Callable[[Callable[[_T], _R], Sequence[_T]], list[_R]] | None",
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+) -> list[_R]:
+    """Apply ``fn`` to every item, preserving item order in the result.
+
+    ``executor_map`` is the pluggable scatter primitive (e.g. a thread pool's
+    ``map`` wrapped to return a list); ``None`` means sequential execution.
+    Because each item is an independent shard and the gather step merges the
+    returned partials *in item order*, the merged result is identical however
+    the executor interleaves the calls -- the property the concurrency
+    equivalence tests pin.
+    """
+    if executor_map is None or len(items) <= 1:
+        return [fn(item) for item in items]
+    return executor_map(fn, items)
 
 
 def merge_scalar_counts(parts: Sequence[int | float]) -> int | float:
@@ -62,6 +86,25 @@ def merge_grouped_counts(parts: Sequence[Mapping]) -> dict:
         for key, count in part.items():
             merged[key] = merged.get(key, 0) + count
     return merged
+
+
+def merge_partial_answers(query: Query, parts: Sequence) -> "int | float | dict":
+    """Gather the per-shard partial answers of one scattered query.
+
+    Dispatches on the query shape: group-by answers merge per key
+    (:func:`merge_grouped_counts`), scalar counts merge by summation.  Join
+    counts never reach this function -- they scatter as two group-by probes
+    (:func:`join_side_probes`) whose merged histograms feed
+    :func:`join_count_from_histograms`.
+    """
+    if isinstance(query, JoinCountQuery):
+        raise TypeError(
+            "join counts are gathered from per-side histograms, not merged "
+            "per-shard answers"
+        )
+    if isinstance(query, GroupByCountQuery):
+        return merge_grouped_counts(parts)
+    return merge_scalar_counts(parts)
 
 
 def join_count_from_histograms(left: Mapping, right: Mapping) -> int:

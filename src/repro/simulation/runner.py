@@ -55,7 +55,7 @@ from repro.core.strategies.flush import FlushPolicy
 from repro.edb.base import EncryptedDatabase
 from repro.edb.crypte import CryptEpsilon
 from repro.edb.oblidb import ObliDB
-from repro.edb.router import ShardRouter
+from repro.edb.router import ShardRouter, resolve_shard_executor
 from repro.query.ast import JoinCountQuery, Query
 from repro.simulation.results import RunResult
 from repro.simulation.simulator import Simulation, SimulationConfig, derive_schema
@@ -91,22 +91,35 @@ def make_backend(
     seed: int = 0,
     crypte_query_epsilon: float = DEFAULT_CRYPTE_QUERY_EPSILON,
     mode: str = "fast",
+    simulate_encryption: bool = False,
+    ciphertext_store: str | None = None,
 ) -> Callable[[], EncryptedDatabase]:
     """A factory for one of the two evaluated back-ends (``"oblidb"`` / ``"crypte"``).
 
     ``mode`` selects the EDB implementation (see
     :data:`repro.edb.base.EDB_MODES`): ``"fast"`` is the vectorized columnar
     path, ``"reference"`` the original row-at-a-time one; both produce
-    bit-identical runs at a fixed seed.
+    bit-identical runs at a fixed seed.  ``simulate_encryption`` runs every
+    record through the real :class:`~repro.edb.crypto.RecordCipher`;
+    ``ciphertext_store`` optionally overrides the ciphertext layout
+    (``"arena"``/``"objects"``; default follows the mode), which only matters
+    when encryption is simulated.
     """
     key = name.lower()
     if key in ("oblidb", "obli-db", "l0"):
-        return lambda: ObliDB(rng=np.random.default_rng(seed + 1), mode=mode)
+        return lambda: ObliDB(
+            rng=np.random.default_rng(seed + 1),
+            mode=mode,
+            simulate_encryption=simulate_encryption,
+            ciphertext_store=ciphertext_store,
+        )
     if key in ("crypte", "crypt-epsilon", "crypteps", "ldp"):
         return lambda: CryptEpsilon(
             query_epsilon=crypte_query_epsilon,
             rng=np.random.default_rng(seed + 2),
             mode=mode,
+            simulate_encryption=simulate_encryption,
+            ciphertext_store=ciphertext_store,
         )
     raise KeyError(f"unknown back-end {name!r}; expected 'oblidb' or 'crypte'")
 
@@ -117,6 +130,9 @@ def make_sharded_backend(
     seed: int = 0,
     crypte_query_epsilon: float = DEFAULT_CRYPTE_QUERY_EPSILON,
     mode: str = "fast",
+    simulate_encryption: bool = False,
+    ciphertext_store: str | None = None,
+    shard_executor: str = "threads",
 ) -> Callable[[], ShardRouter]:
     """A factory for a :class:`~repro.edb.router.ShardRouter` over ``n_shards``
     independent back-end instances.
@@ -125,6 +141,9 @@ def make_sharded_backend(
     one-shard router is byte-identical to the plain back-end); later shards
     draw their seeds from ``SeedSequence([seed, shard_index])`` -- adding a
     shard never disturbs the noise streams of the existing ones.
+    ``shard_executor`` selects the fan-out executor (``"threads"`` runs
+    per-shard protocol work concurrently, ``"serial"`` sequentially; results
+    are byte-identical either way).
     """
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
@@ -145,9 +164,11 @@ def make_sharded_backend(
                     seed=shard_seed,
                     crypte_query_epsilon=crypte_query_epsilon,
                     mode=mode,
+                    simulate_encryption=simulate_encryption,
+                    ciphertext_store=ciphertext_store,
                 )()
             )
-        return ShardRouter(shards, route_seed=seed)
+        return ShardRouter(shards, route_seed=seed, executor=shard_executor)
 
     return build
 
@@ -175,6 +196,14 @@ class CellSpec:
     many independent EDB shards via a
     :class:`~repro.edb.router.ShardRouter`.  The defaults (1/1) reproduce
     the single-owner, single-EDB paper setup exactly.
+
+    Hot-path fields: ``shard_executor`` picks the router's fan-out executor
+    (``"threads"`` scatters Setup/Update/Query across the shards
+    concurrently; ``"serial"`` keeps the sequential loop -- cell results are
+    byte-identical either way, only wall clock moves), and
+    ``simulate_encryption`` runs every outsourced record through the real
+    record cipher (into a contiguous ciphertext arena in fast mode, the
+    per-record object store in reference mode).
     """
 
     strategy: str
@@ -198,12 +227,17 @@ class CellSpec:
     n_owners: int = 1
     n_shards: int = 1
     fleet_scenario: str = ""
+    shard_executor: str = "threads"
+    simulate_encryption: bool = False
     scenario_kwargs: tuple[tuple[str, float], ...] = ()
     cell_id: str = ""
 
     def __post_init__(self) -> None:
         if self.n_owners < 1 or self.n_shards < 1:
             raise ValueError("n_owners and n_shards must be >= 1")
+        object.__setattr__(
+            self, "shard_executor", resolve_shard_executor(self.shard_executor)
+        )
         if self.queries is not None:
             object.__setattr__(self, "queries", tuple(self.queries))
         object.__setattr__(
@@ -343,6 +377,8 @@ def run_cell(spec: CellSpec) -> RunResult:
             seed=spec.backend_seed,
             crypte_query_epsilon=spec.crypte_query_epsilon,
             mode=spec.edb_mode,
+            simulate_encryption=spec.simulate_encryption,
+            shard_executor=spec.shard_executor,
         )
     else:
         edb_factory = make_backend(
@@ -350,6 +386,7 @@ def run_cell(spec: CellSpec) -> RunResult:
             seed=spec.backend_seed,
             crypte_query_epsilon=spec.crypte_query_epsilon,
             mode=spec.edb_mode,
+            simulate_encryption=spec.simulate_encryption,
         )
     simulation = Simulation(
         edb_factory=edb_factory,
@@ -820,6 +857,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         default="",
         help="fleet partition policy (round-robin / hash-user; default round-robin)",
     )
+    parser.add_argument(
+        "--shard-executor",
+        default="threads",
+        choices=["threads", "serial"],
+        help="shard fan-out executor: concurrent thread pool (default) or the "
+        "sequential loop; cell results are byte-identical either way",
+    )
+    parser.add_argument(
+        "--simulate-encryption",
+        action="store_true",
+        help="run every outsourced record through the real record cipher "
+        "(arena-backed in fast mode, per-record objects in reference mode)",
+    )
     args = parser.parse_args(argv)
 
     parameters: dict[str, Sequence] = {
@@ -839,6 +889,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             n_owners=args.n_owners,
             n_shards=args.n_shards,
             fleet_scenario=args.fleet_scenario,
+            shard_executor=args.shard_executor,
+            simulate_encryption=args.simulate_encryption,
         ),
         base_seed=args.seed,
     )

@@ -9,7 +9,52 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dp.mechanisms import AboveThreshold, GeometricMechanism, LaplaceMechanism
+from repro.dp.mechanisms import (
+    AboveThreshold,
+    GeometricMechanism,
+    LaplaceBlockStream,
+    LaplaceMechanism,
+)
+
+
+class TestLaplaceBlockStream:
+    def test_bit_identical_to_direct_draws_across_mixed_scales(self):
+        """The k-th stream value equals the k-th direct Generator draw.
+
+        This is the contract the strategy hot loops rely on: interleaved
+        scales (Perturb's 1/eps, AboveThreshold's 2/eps1 and 4/eps1) served
+        from predrawn standard blocks must match direct scaled draws
+        bit-for-bit, including across block boundaries.
+        """
+        scales = [2.0, 8.0, 1 / 0.25, 0.5, 123.456, 1e-3]
+        stream = LaplaceBlockStream(np.random.default_rng(77), block_size=16)
+        direct = np.random.default_rng(77)
+        for index in range(500):
+            scale = scales[index % len(scales)]
+            assert stream.laplace(0.0, scale) == direct.laplace(0.0, scale)
+
+    def test_mechanisms_accept_the_stream_in_place_of_a_generator(self):
+        stream = LaplaceBlockStream(np.random.default_rng(5))
+        direct = np.random.default_rng(5)
+        mechanism = LaplaceMechanism(epsilon=0.5)
+        assert mechanism.randomize(3.0, stream) == mechanism.randomize(3.0, direct)
+        sparse_a = AboveThreshold(theta=4.0, epsilon=0.5)
+        sparse_b = AboveThreshold(theta=4.0, epsilon=0.5)
+        sparse_a.reset(stream)
+        sparse_b.reset(direct)
+        for count in range(20):
+            assert sparse_a.step(count, stream) == sparse_b.step(count, direct)
+
+    def test_nonzero_loc_and_defaults(self):
+        stream = LaplaceBlockStream(np.random.default_rng(9))
+        direct = np.random.default_rng(9)
+        assert stream.laplace(10.0, 2.0) == 10.0 + 2.0 * direct.laplace(0.0, 1.0)
+        assert isinstance(stream.laplace(), float)
+        assert stream.generator is not None
+
+    def test_block_size_validated(self):
+        with pytest.raises(ValueError):
+            LaplaceBlockStream(np.random.default_rng(0), block_size=0)
 
 
 class TestLaplaceMechanism:

@@ -7,11 +7,19 @@ plaintext-dependent structure, round-trip correctness.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.edb.crypto import CIPHERTEXT_SIZE, EncryptedRecord, RecordCipher
+from repro.edb.crypto import (
+    CIPHERTEXT_SIZE,
+    ArenaRecord,
+    CiphertextArena,
+    EncryptedRecord,
+    RecordCipher,
+    _xor,
+)
 from repro.edb.records import Record, Schema, make_dummy_record
 
 
@@ -87,6 +95,107 @@ class TestRecordCipher:
     def test_invalid_ciphertext_length_rejected(self):
         with pytest.raises(ValueError):
             EncryptedRecord(ciphertext=b"too-short", handle=0)
+
+
+class TestXor:
+    def test_single_record_contract_returns_bytes(self):
+        out = _xor(b"\x01\x02\x03", b"\xff\x00\x0f")
+        assert isinstance(out, bytes)
+        assert out == b"\xfe\x02\x0c"
+
+    def test_batched_contract_writes_into_out_buffer(self):
+        out = np.empty(3, dtype=np.uint8)
+        returned = _xor(b"\x01\x02\x03", b"\xff\x00\x0f", out=out)
+        assert returned is out
+        assert out.tobytes() == b"\xfe\x02\x0c"
+
+
+class TestArenaBulkPaths:
+    def _records(self, n: int, start: int = 0) -> list[Record]:
+        return [
+            Record(values={"a": start + i, "b": f"r{i}"}, arrival_time=i, table="t")
+            for i in range(n)
+        ]
+
+    def test_bulk_encrypt_round_trips_through_single_decrypt(self, cipher):
+        records = self._records(20)
+        arena = CiphertextArena(initial_capacity=2)
+        handles = cipher.encrypt_many_into(records, arena)
+        assert handles == list(range(20))
+        for view, record in zip(arena.records(), records):
+            decrypted = cipher.decrypt(view)
+            assert decrypted.values == record.values
+            assert decrypted.arrival_time == record.arrival_time
+
+    def test_decrypt_many_matches_per_record_decrypt(self, cipher):
+        records = self._records(15)
+        encrypted = cipher.encrypt_many(records)
+        batch = cipher.decrypt_many(encrypted)
+        singles = [cipher.decrypt(e) for e in encrypted]
+        assert [r.values for r in batch] == [r.values for r in singles]
+
+    def test_handles_continue_across_layouts(self, cipher):
+        """Object-path and arena-path encryptions share one handle sequence."""
+        first = cipher.encrypt(Record(values={"a": 1}))
+        arena = CiphertextArena()
+        handles = cipher.encrypt_many_into(self._records(3), arena)
+        last = cipher.encrypt(Record(values={"a": 2}))
+        assert first.handle == 0
+        assert handles == [1, 2, 3]
+        assert last.handle == 4
+        assert [v.handle for v in arena.records()] == [1, 2, 3]
+
+    def test_bulk_tampering_detected(self, cipher):
+        arena = CiphertextArena()
+        cipher.encrypt_many_into(self._records(4), arena)
+        tampered = arena.as_array().copy()
+        tampered[2, 40] ^= 0xFF
+        fakes = [
+            EncryptedRecord(ciphertext=row.tobytes(), handle=i)
+            for i, row in enumerate(tampered)
+        ]
+        with pytest.raises(ValueError):
+            cipher.decrypt_many(fakes)
+
+    def test_arena_views_are_zero_copy_and_fixed_size(self, cipher):
+        arena = CiphertextArena()
+        cipher.encrypt_many_into(self._records(2), arena)
+        view = arena.record(0)
+        assert isinstance(view, ArenaRecord)
+        assert view.size_bytes == CIPHERTEXT_SIZE
+        assert isinstance(view.ciphertext, memoryview)
+        assert view.ciphertext.readonly
+        assert view.to_encrypted_record() == view
+
+    def test_empty_batch_is_a_no_op(self, cipher):
+        arena = CiphertextArena()
+        assert cipher.encrypt_many_into([], arena) == []
+        assert cipher.decrypt_many([]) == []
+        assert len(arena) == 0
+
+    def test_oversized_record_rejected_before_any_arena_write(self, cipher):
+        arena = CiphertextArena()
+        bad = [Record(values={"a": 1}), Record(values={"blob": "x" * 500})]
+        with pytest.raises(ValueError):
+            cipher.encrypt_many_into(bad, arena)
+        assert len(arena) == 0
+
+    def test_arena_row_bounds_checked(self, cipher):
+        arena = CiphertextArena()
+        cipher.encrypt_many_into(self._records(1), arena)
+        with pytest.raises(IndexError):
+            arena.row(1)
+        with pytest.raises(IndexError):
+            arena.record(-1)
+
+    def test_arena_doubles_capacity_and_compacts(self, cipher):
+        arena = CiphertextArena(initial_capacity=1)
+        cipher.encrypt_many_into(self._records(9), arena)
+        assert arena.capacity == 16
+        assert arena.grow_count >= 1
+        arena.compact()
+        assert arena.capacity == 9
+        assert len(arena) == 9
 
 
 class TestIndistinguishability:

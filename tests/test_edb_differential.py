@@ -23,8 +23,11 @@ import dataclasses
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.edb.crypte import CryptEpsilon
+from repro.edb.crypto import CIPHERTEXT_SIZE, CiphertextArena, RecordCipher
 from repro.edb.leakage import update_pattern_observables
 from repro.edb.oblidb import ObliDB
 from repro.edb.records import Record
@@ -112,6 +115,140 @@ def test_protocol_transcripts_match(strategy, backend):
         fast_answer = fast_edb.query(query, time=horizon)
         ref_answer = ref_edb.query(query, time=horizon)
         assert fast_answer == ref_answer, query.name
+
+
+# ---------------------------------------------------------------------------
+# Ciphertext storage layouts: arena-backed vs object-backed
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("strategy", ["dp-timer", "dp-ant"])
+def test_arena_and_object_ciphertext_runs_are_bit_identical(strategy, backend):
+    """Golden cells replayed with real encryption agree across storage modes.
+
+    ``edb_mode="fast"`` stores ciphertexts in the contiguous arena,
+    ``"reference"`` in per-record objects; with encryption simulated the two
+    replays must still produce byte-identical result payloads (the cipher's
+    ``os.urandom`` nonces never feed any observable).
+    """
+    spec = dataclasses.replace(golden_spec(strategy, backend), simulate_encryption=True)
+    arena_run = run_cell(dataclasses.replace(spec, edb_mode="fast"))
+    object_run = run_cell(dataclasses.replace(spec, edb_mode="reference"))
+    assert arena_run.to_dict() == object_run.to_dict(), (
+        f"arena/object storage divergence for {strategy}/{backend}"
+    )
+
+
+def _run_encrypted(backend: str, mode: str):
+    """One small encrypted taxi run returning (RunResult, the EDB used)."""
+    created = []
+    edb_class = EDB_CLASSES[backend]
+
+    def factory():
+        edb = edb_class(
+            rng=np.random.default_rng(7), mode=mode, simulate_encryption=True
+        )
+        created.append(edb)
+        return edb
+
+    workloads = build_scenario("taxi-june", seed=2020, scale=0.01)
+    simulation = Simulation(
+        edb_factory=factory,
+        workloads=workloads,
+        queries=list(scenario_queries("taxi-june")),
+        config=SimulationConfig(strategy="dp-timer", query_interval=120, seed=3),
+    )
+    result = simulation.run()
+    assert len(created) == 1
+    return result, created[0]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_arena_ciphertexts_round_trip_and_transcripts_match(backend):
+    """Arena views decrypt to the same logical records as object ciphertexts.
+
+    Same seed, same workload: the arena-backed run and the object-backed run
+    must agree on result payloads, protocol transcripts and -- after
+    decrypting every stored ciphertext with each EDB's own cipher -- on the
+    full logical content (values, arrival times, dummy flags) and the handle
+    sequence.
+    """
+    arena_result, arena_edb = _run_encrypted(backend, "fast")
+    object_result, object_edb = _run_encrypted(backend, "reference")
+
+    assert arena_edb.ciphertext_store == "arena"
+    assert object_edb.ciphertext_store == "objects"
+    assert arena_result.to_dict() == object_result.to_dict()
+    assert arena_edb.update_history == object_edb.update_history
+    assert update_pattern_observables(arena_edb.update_history) == (
+        update_pattern_observables(object_edb.update_history)
+    )
+
+    def logical(edb, table):
+        rows = edb.cipher.decrypt_many(edb.ciphertexts(table))
+        return [
+            (dict(r.values), r.arrival_time, r.is_dummy, r.table) for r in rows
+        ]
+
+    table = "YellowCab"
+    arena_ciphertexts = arena_edb.ciphertexts(table)
+    object_ciphertexts = object_edb.ciphertexts(table)
+    assert len(arena_ciphertexts) == len(object_ciphertexts) > 0
+    assert [c.handle for c in arena_ciphertexts] == [
+        c.handle for c in object_ciphertexts
+    ]
+    assert {len(bytes(c.ciphertext)) for c in arena_ciphertexts} == {CIPHERTEXT_SIZE}
+    assert logical(arena_edb, table) == logical(object_edb, table)
+    # Cross-layout decryptability: the single-record decrypt handles both.
+    assert (
+        arena_edb.cipher.decrypt(arena_ciphertexts[0]).values
+        == arena_edb.cipher.decrypt_many([arena_ciphertexts[0]])[0].values
+    )
+
+
+@given(
+    batch_sizes=st.lists(st.integers(1, 17), min_size=1, max_size=8),
+    initial_capacity=st.integers(1, 8),
+    compact_after=st.sets(st.integers(0, 7)),
+)
+@settings(max_examples=40, deadline=None)
+def test_arena_growth_and_compaction_never_change_handles_or_contents(
+    batch_sizes, initial_capacity, compact_after
+):
+    """Growth and compaction are invisible: handles and decrypts invariant.
+
+    Batches are appended through the real bulk-encrypt path into a tiny arena
+    (forcing repeated capacity doubling), with compaction interleaved at
+    arbitrary points; previously-taken :class:`ArenaRecord` views must keep
+    decrypting to the same records with the same handles throughout.
+    """
+    cipher = RecordCipher(key=b"h" * 32)
+    arena = CiphertextArena(initial_capacity=initial_capacity)
+    views = []
+    expected = []
+    next_value = 0
+    for batch_index, size in enumerate(batch_sizes):
+        records = [
+            Record(values={"v": next_value + i}, arrival_time=batch_index, table="T")
+            for i in range(size)
+        ]
+        next_value += size
+        handles = cipher.encrypt_many_into(records, arena)
+        assert handles == list(range(len(expected), len(expected) + size))
+        expected.extend(records)
+        views = arena.records()
+        if batch_index in compact_after:
+            arena.compact()
+            assert arena.capacity == len(arena)
+    assert len(arena) == len(expected)
+    decrypted = cipher.decrypt_many(views)
+    assert [r.values for r in decrypted] == [r.values for r in expected]
+    assert [v.handle for v in views] == list(range(len(expected)))
+    # A fresh set of views after all growth/compaction agrees with the old.
+    assert [bytes(v.ciphertext) for v in arena.records()] == [
+        bytes(v.ciphertext) for v in views
+    ]
 
 
 def _populated_executors():
