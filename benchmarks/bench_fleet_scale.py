@@ -18,15 +18,19 @@ unsharded run) defaults to 2x; CI smoke runs at a lower scale override it via
 ``REPRO_BENCH_MIN_FLEET_QET_SPEEDUP``.
 
 3. **measured_qet** -- the *measured* counterpart of the simulated model: a
-   large hash-partitioned table is queried through thread-executor routers at
-   K in {1, 2, 4} and the section records real wall-clock per gathered query
-   (plus the router's own :class:`~repro.edb.router.WallClockStats` ledger),
-   with gathered answers asserted byte-identical to sequential execution.
-   The acceptance floor (``REPRO_BENCH_MIN_MEASURED_QET_SPEEDUP``, default
-   2x at K=4) is only meaningful when threads can actually run in parallel,
-   so it is enforced on >= 2 usable CPUs and recorded as
-   ``"skipped_single_cpu"`` otherwise -- the numbers themselves are always
-   recorded honestly alongside ``bench_environment``.
+   large hash-partitioned table is queried through **process-executor**
+   routers (persistent per-shard worker processes) at K in {1, 2, 4} and the
+   section records real wall-clock per gathered query, the router's
+   :class:`~repro.edb.router.WallClockStats` ledger (per-shard worker busy
+   seconds and the serialization overhead of the process boundary), and a
+   thread-executor contrast at K=4 -- with gathered answers asserted
+   byte-identical to sequential execution first.  The acceptance floor
+   (``REPRO_BENCH_MIN_MEASURED_QET_SPEEDUP``; the default 2x assumes >= 4
+   CPUs, CI runners with fewer cores override it) is only meaningful when
+   workers can actually run in parallel, so it is enforced on >= 2 usable
+   CPUs and recorded as ``"skipped_single_cpu"`` otherwise -- the numbers
+   themselves are always recorded honestly, and ``affinity_cpus`` is stamped
+   into the payload so a reader can judge the scaling context at a glance.
 """
 
 from __future__ import annotations
@@ -174,12 +178,14 @@ def _build_router(n_shards: int, executor: str) -> ShardRouter:
 
 
 def test_measured_concurrent_query_wall_clock(bench_settings):
-    """Real wall-clock QET at K in {1, 2, 4}: threads vs the sequential loop.
+    """Real wall-clock QET at K in {1, 2, 4}: worker processes vs the loop.
 
     The end-to-end section's QET speedup is *simulated* (max over shards);
     this section measures what the coordinator actually waits per gathered
-    query with the thread executor, and pins the gathered answers
-    byte-identical to sequential execution first.
+    query with the **process executor** -- per-shard worker processes with
+    no GIL in common -- pins the gathered answers byte-identical to
+    sequential execution first, and records a thread-executor contrast at
+    K=4 so the GIL cost of in-process fan-out stays visible.
     """
     records = _measured_records(MEASURED_ROWS)
     queries = [
@@ -196,80 +202,100 @@ def test_measured_concurrent_query_wall_clock(bench_settings):
         ),
     ]
 
-    routers = {k: _build_router(k, "threads") for k in SHARD_COUNTS}
+    routers = {k: _build_router(k, "processes") for k in SHARD_COUNTS}
     serial_checks = {k: _build_router(k, "serial") for k in SHARD_COUNTS}
-    chunk = 2048
-    for start in range(0, len(records), chunk):
-        batch = {"Users": records[start : start + chunk]}
-        for router in (*routers.values(), *serial_checks.values()):
-            router.insert_many(batch, time=start // chunk + 1)
+    threads_contrast = _build_router(4, "threads")
+    everyone = (*routers.values(), *serial_checks.values(), threads_contrast)
+    try:
+        chunk = 2048
+        for start in range(0, len(records), chunk):
+            batch = {"Users": records[start : start + chunk]}
+            for router in everyone:
+                router.insert_many(batch, time=start // chunk + 1)
 
-    # Byte-identical gathered answers: threads vs sequential execution.
-    for k in SHARD_COUNTS:
-        for query in queries:
-            assert routers[k].query(query, time=0) == serial_checks[k].query(
-                query, time=0
-            ), f"executor divergence for {query.name} at K={k}"
-
-    wall: dict[int, float] = {}
-    for k, router in routers.items():
-        router.measured.reset()
-        start = time.perf_counter()
-        for _ in range(MEASURED_REPEATS):
+        # Byte-identical gathered answers: worker processes vs sequential.
+        for k in SHARD_COUNTS:
             for query in queries:
-                router.query(query, time=0)
-        wall[k] = time.perf_counter() - start
+                assert routers[k].query(query, time=0) == serial_checks[k].query(
+                    query, time=0
+                ), f"executor divergence for {query.name} at K={k}"
 
-    per_query = {
-        k: wall[k] / (MEASURED_REPEATS * len(queries)) for k in SHARD_COUNTS
-    }
-    measured_speedup = wall[1] / max(wall[4], 1e-9)
-    cpus = usable_cpus()
-    floor = (
-        "enforced"
-        if cpus >= 2
-        else "skipped_single_cpu"  # threads cannot overlap on one CPU; the
-        # measured numbers are still recorded honestly below.
-    )
-    payload = {
-        "benchmark": "measured_concurrent_qet",
-        "backend": "oblidb",
-        "edb_mode": "fast",
-        "shard_executor": "threads",
-        "records": len(records),
-        "repeats": MEASURED_REPEATS,
-        "queries": [q.name for q in queries],
-        "answers_byte_identical_to_sequential": True,
-        "measured_wall_seconds_by_shards": {
-            str(k): round(wall[k], 4) for k in SHARD_COUNTS
-        },
-        "measured_seconds_per_query_by_shards": {
-            str(k): round(per_query[k], 6) for k in SHARD_COUNTS
-        },
-        "router_measured_query_seconds": {
-            str(k): round(routers[k].measured.query_seconds, 4)
-            for k in SHARD_COUNTS
-        },
-        "measured_qet_speedup_4_shards": round(measured_speedup, 2),
-        "measured_floor": floor,
-        "min_measured_speedup": MIN_MEASURED_QET_SPEEDUP,
-        "environment": bench_environment(usable_cpus=cpus),
-    }
-    merge_bench_json(OUTPUT_PATH, "measured_qet", payload)
-    emit_report(
-        "fleet_measured_qet",
-        f"Measured scatter-gather wall clock ({len(records)} rows, "
-        f"{MEASURED_REPEATS}x{len(queries)} queries, thread executor)\n\n"
-        + "\n".join(
-            f"{k} shard(s): {per_query[k] * 1e3:8.3f} ms/query measured"
-            for k in SHARD_COUNTS
+        def _measure(router) -> float:
+            router.measured.reset()
+            start = time.perf_counter()
+            for _ in range(MEASURED_REPEATS):
+                for query in queries:
+                    router.query(query, time=0)
+            return time.perf_counter() - start
+
+        wall = {k: _measure(router) for k, router in routers.items()}
+        threads_wall = _measure(threads_contrast)
+
+        per_query = {
+            k: wall[k] / (MEASURED_REPEATS * len(queries)) for k in SHARD_COUNTS
+        }
+        measured_speedup = wall[1] / max(wall[4], 1e-9)
+        cpus = usable_cpus()
+        floor = (
+            "enforced"
+            if cpus >= 2
+            else "skipped_single_cpu"  # workers cannot overlap on one CPU;
+            # the measured numbers are still recorded honestly below.
         )
-        + f"\nmeasured QET speedup at 4 shards: {measured_speedup:.2f}x "
-        f"(floor {MIN_MEASURED_QET_SPEEDUP}x, {floor}; {cpus} usable CPUs)\n"
-        "answers byte-identical to sequential execution at every K",
-    )
-    for router in (*routers.values(), *serial_checks.values()):
-        router.close()
+        ledger = routers[4].measured
+        payload = {
+            "benchmark": "measured_concurrent_qet",
+            "backend": "oblidb",
+            "edb_mode": "fast",
+            "shard_executor": "processes",
+            "affinity_cpus": cpus,
+            "records": len(records),
+            "repeats": MEASURED_REPEATS,
+            "queries": [q.name for q in queries],
+            "answers_byte_identical_to_sequential": True,
+            "measured_wall_seconds_by_shards": {
+                str(k): round(wall[k], 4) for k in SHARD_COUNTS
+            },
+            "measured_seconds_per_query_by_shards": {
+                str(k): round(per_query[k], 6) for k in SHARD_COUNTS
+            },
+            "router_measured_query_seconds": {
+                str(k): round(routers[k].measured.query_seconds, 4)
+                for k in SHARD_COUNTS
+            },
+            # K=4 boundary accounting: how much of the coordinator's wait was
+            # worker compute vs pickling/transport across the process boundary.
+            "worker_busy_seconds_by_shard_at_4": {
+                str(index): round(busy, 4)
+                for index, busy in sorted(ledger.per_shard_busy_seconds.items())
+            },
+            "serialization_overhead_seconds_at_4": round(
+                ledger.serialization_seconds, 4
+            ),
+            "threads_contrast_wall_seconds_at_4": round(threads_wall, 4),
+            "measured_qet_speedup_4_shards": round(measured_speedup, 2),
+            "measured_floor": floor,
+            "min_measured_speedup": MIN_MEASURED_QET_SPEEDUP,
+            "environment": bench_environment(usable_cpus=cpus),
+        }
+        merge_bench_json(OUTPUT_PATH, "measured_qet", payload)
+        emit_report(
+            "fleet_measured_qet",
+            f"Measured scatter-gather wall clock ({len(records)} rows, "
+            f"{MEASURED_REPEATS}x{len(queries)} queries, process executor)\n\n"
+            + "\n".join(
+                f"{k} shard(s): {per_query[k] * 1e3:8.3f} ms/query measured"
+                for k in SHARD_COUNTS
+            )
+            + f"\nthreads contrast at 4 shards: "
+            f"{threads_wall / (MEASURED_REPEATS * len(queries)) * 1e3:8.3f} ms/query"
+            + f"\nmeasured QET speedup at 4 shards: {measured_speedup:.2f}x "
+            f"(floor {MIN_MEASURED_QET_SPEEDUP}x, {floor}; {cpus} usable CPUs)\n"
+            "answers byte-identical to sequential execution at every K",
+        )
+    finally:
+        for router in everyone:
+            router.close()
     if floor == "enforced":
         assert measured_speedup >= MIN_MEASURED_QET_SPEEDUP, (
             f"expected >= {MIN_MEASURED_QET_SPEEDUP}x measured wall-clock QET "

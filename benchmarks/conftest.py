@@ -87,15 +87,13 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 def usable_cpus() -> int:
     """CPUs this process may actually run on (affinity-aware).
 
-    The single source of the CPU-detection rule: wall-clock speedup floors
-    (process pools, thread-executor scatter) and ``bench_environment`` all
-    gate on this, so a future refinement (e.g. cgroup quota awareness) lands
-    in one place.
+    Delegates to :func:`repro.util.mp.usable_cpus` -- the single source of
+    the CPU-detection rule, shared with the shard executors' footgun
+    warning -- so every wall-clock speedup floor gates on the same number.
     """
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+    from repro.util.mp import usable_cpus as _usable_cpus
+
+    return _usable_cpus()
 
 
 def bench_environment(**extra) -> dict:

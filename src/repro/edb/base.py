@@ -27,7 +27,7 @@ The base class handles the bookkeeping that is common to every atomic EDB:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -171,6 +171,7 @@ class EncryptedDatabase:
         )
         self._ciphertexts: dict[str, list[EncryptedRecord]] = {}
         self._arenas: dict[str, CiphertextArena] = {}
+        self._arena_factory: Callable[[], CiphertextArena] = CiphertextArena
         self._table_totals: dict[str, int] = {}
         self._table_dummies: dict[str, int] = {}
         self._update_history: list[UpdateResult] = []
@@ -298,6 +299,27 @@ class EncryptedDatabase:
         """The table's backing arena (``None`` for object-backed storage)."""
         return self._arenas.get(table)
 
+    def set_arena_factory(self, factory: Callable[[], CiphertextArena]) -> None:
+        """Choose the arena class backing tables ingested *from now on*.
+
+        Shard worker processes call this at startup with
+        :class:`~repro.edb.crypto.SharedCiphertextArena` so their ciphertext
+        rows land in named shared memory the coordinator can read zero-copy.
+        Arenas that already exist keep their backend; shards are handed to
+        workers empty (before Setup), so in practice every arena is created
+        through the installed factory.
+        """
+        self._arena_factory = factory
+
+    def close(self) -> None:
+        """Release arena resources (shared-memory segments, if any).
+
+        Idempotent, and a no-op for plain in-process arenas; callers that may
+        hold process-backed or shared-arena EDBs should always close.
+        """
+        for arena in self._arenas.values():
+            arena.release()
+
     @property
     def cipher(self) -> RecordCipher | None:
         """The record cipher (``None`` unless encryption is simulated)."""
@@ -361,7 +383,7 @@ class EncryptedDatabase:
                 if self._ciphertext_store == "arena":
                     arena = self._arenas.get(table)
                     if arena is None:
-                        arena = self._arenas[table] = CiphertextArena()
+                        arena = self._arenas[table] = self._arena_factory()
                     self._cipher.encrypt_many_into(rows, arena)
                 else:
                     encrypted = self._cipher.encrypt_many(rows)

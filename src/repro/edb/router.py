@@ -34,10 +34,15 @@ ndarray shard work spends its time in NumPy kernels and hash primitives that
 release the GIL, so on multi-core hardware the per-shard *simulated* QET
 model (max over shards) is matched by a real wall-clock speedup, which
 :attr:`measured` records.  ``executor="serial"`` keeps the original
-sequential loop.  Shards are mutated only by their own call and partials are
-merged in shard-index order, so answers, transcripts and per-shard state are
-byte-identical under either executor (``tests/test_scatter_concurrency.py``
-pins this).
+sequential loop.  ``executor="processes"`` escapes the GIL entirely: each
+shard moves into a persistent worker process
+(:mod:`repro.edb.shard_worker`) that owns the shard's EDB, ORAM and RNG
+stream, and the router's fan-out threads merely block on pipe round-trips
+(releasing the GIL) while workers compute truly in parallel; ciphertexts
+live in shared-memory arenas the coordinator reads zero-copy.  Shards are
+mutated only by their own call and partials are merged in shard-index
+order, so answers, transcripts and per-shard state are byte-identical under
+every executor (``tests/test_scatter_concurrency.py`` pins this).
 
 With ``K = 1`` every call is forwarded verbatim to the single shard, so a
 one-shard router is byte-identical to the unrouted back-end in every
@@ -47,15 +52,17 @@ observable (``tests/test_shard_router.py`` pins this).
 from __future__ import annotations
 
 import hashlib
+import logging
 import time as _time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.edb.base import EncryptedDatabase, QueryResult, UpdateResult
 from repro.edb.cost_model import CostModel, UnsupportedQueryError
 from repro.edb.leakage import LeakageProfile, update_pattern_observables
 from repro.edb.records import Record
+from repro.edb.shard_worker import ShardWorkerClient
 from repro.query.ast import JoinCountQuery, Query
 from repro.query.scatter import (
     join_count_from_histograms,
@@ -64,21 +71,48 @@ from repro.query.scatter import (
     merge_partial_answers,
     scatter_map,
 )
+from repro.util.mp import preferred_mp_context, usable_cpus
 
 __all__ = ["SHARD_EXECUTORS", "WallClockStats", "ShardRouter", "resolve_shard_executor"]
 
+logger = logging.getLogger(__name__)
+
 #: Supported shard fan-out executors: ``"threads"`` scatters protocol calls
 #: across a pool with one worker per shard; ``"serial"`` visits shards in a
-#: plain loop.  Observables are identical either way; only wall clock moves.
-SHARD_EXECUTORS = ("threads", "serial")
+#: plain loop; ``"processes"`` moves each shard into a persistent worker
+#: process (true parallelism, shared-memory ciphertext arenas).  Observables
+#: are identical across all three; only wall clock moves.
+SHARD_EXECUTORS = ("threads", "serial", "processes")
+
+#: Concurrent executors already warned about on a single-CPU host, so the
+#: footgun warning fires once per executor per process, not once per cell.
+_warned_single_cpu: set[str] = set()
 
 
 def resolve_shard_executor(executor: str) -> str:
-    """Validate (and normalize) a shard-executor flag."""
+    """Validate (and normalize) a shard-executor flag.
+
+    Choosing a concurrent executor on a host with one usable CPU is a
+    footgun -- fan-out adds coordination cost with no cores to spread the
+    work over -- so that combination logs a one-time warning: simulated QET
+    is unaffected (it is model-derived), but *measured* wall clock will not
+    improve and may regress.
+    """
     normalized = executor.lower()
     if normalized not in SHARD_EXECUTORS:
         raise ValueError(
             f"shard executor must be one of {SHARD_EXECUTORS}, got {executor!r}"
+        )
+    if (
+        normalized in ("threads", "processes")
+        and normalized not in _warned_single_cpu
+        and usable_cpus() == 1
+    ):
+        _warned_single_cpu.add(normalized)
+        logger.warning(
+            "shard executor %r selected on a single-CPU host: measured "
+            "wall clock will not improve (simulated QET is unaffected)",
+            normalized,
         )
     return normalized
 
@@ -96,6 +130,14 @@ class WallClockStats:
     Every surface counts *attempts*: a call that raises (unsupported query,
     pre-Setup protocol error) still contributes its call and wall clock, so
     calls/seconds share one basis across setup/update/query.
+
+    The process executor additionally splits the coordinator's wall clock
+    per shard: :attr:`per_shard_busy_seconds` is each worker's self-reported
+    execution time (true shard compute, measured inside the worker), and
+    :attr:`serialization_seconds` the remainder of the pipe round-trips --
+    argument/result pickling, transport and scheduling, i.e. what the
+    process boundary costs over an in-process call.  Both stay zero for the
+    in-process executors, where no boundary exists.
     """
 
     setup_seconds: float = 0.0
@@ -103,6 +145,9 @@ class WallClockStats:
     update_seconds: float = 0.0
     query_calls: int = 0
     query_seconds: float = 0.0
+    per_shard_busy_seconds: dict[int, float] = field(default_factory=dict)
+    serialization_seconds: float = 0.0
+    worker_commands: int = 0
 
     @property
     def mean_query_seconds(self) -> float:
@@ -116,6 +161,9 @@ class WallClockStats:
         self.update_seconds = 0.0
         self.query_calls = 0
         self.query_seconds = 0.0
+        self.per_shard_busy_seconds = {}
+        self.serialization_seconds = 0.0
+        self.worker_commands = 0
 
 
 class ShardRouter:
@@ -133,8 +181,11 @@ class ShardRouter:
     executor:
         Shard fan-out executor: ``"threads"`` (default) runs per-shard
         protocol work on a thread pool with one worker per shard,
-        ``"serial"`` visits shards sequentially.  Gathered answers and all
-        transcripts are byte-identical across executors.
+        ``"serial"`` visits shards sequentially, ``"processes"`` moves each
+        shard into a persistent worker process at construction time (the
+        shard object crosses the process boundary exactly once; afterwards
+        only commands and results travel the pipes).  Gathered answers and
+        all transcripts are byte-identical across executors.
     """
 
     def __init__(
@@ -146,9 +197,22 @@ class ShardRouter:
         shards = list(shards)
         if not shards:
             raise ValueError("a ShardRouter needs at least one shard")
-        self._shards = shards
         self._route_seed = int(route_seed)
         self._executor = resolve_shard_executor(executor)
+        self._clients: list[ShardWorkerClient] = []
+        if self._executor == "processes":
+            context = preferred_mp_context()
+            self._clients = [
+                ShardWorkerClient(shard, index, context)
+                for index, shard in enumerate(shards)
+            ]
+            self._shards: list = list(self._clients)
+        else:
+            self._shards = shards
+        #: Per-client (busy, overhead, commands) snapshots so measured stats
+        #: absorb only the *delta* each protocol call produced -- keeping
+        #: ``measured.reset()`` meaningful across benchmark phases.
+        self._client_marks = [client.stats() for client in self._clients]
         self._pool: ThreadPoolExecutor | None = None
         self._ordinals: dict[str, int] = {}
         self._update_history: list[UpdateResult] = []
@@ -158,13 +222,19 @@ class ShardRouter:
 
     @property
     def shard_executor(self) -> str:
-        """The configured fan-out executor (``"threads"`` or ``"serial"``)."""
+        """The configured fan-out executor (one of :data:`SHARD_EXECUTORS`)."""
         return self._executor
 
     def _map(self, fn: Callable, items: Sequence) -> list:
-        """Scatter ``fn`` over ``items``, gathering results in item order."""
+        """Scatter ``fn`` over ``items``, gathering results in item order.
+
+        The thread pool drives both concurrent executors: with in-process
+        shards the NumPy/hashing kernels release the GIL; with process
+        shards each pool thread blocks on its worker's pipe (releasing the
+        GIL) while the workers compute truly in parallel.
+        """
         executor_map = None
-        if self._executor == "threads" and len(items) > 1:
+        if self._executor in ("threads", "processes") and len(items) > 1:
             executor_map = self._pool_map
         return scatter_map(executor_map, fn, items)
 
@@ -176,11 +246,29 @@ class ShardRouter:
             )
         return list(self._pool.map(fn, items))
 
+    def _absorb_worker_stats(self) -> None:
+        """Fold worker-side counters accumulated since the last call into
+        :attr:`measured` (per-shard busy seconds, serialization overhead)."""
+        for position, client in enumerate(self._clients):
+            busy0, overhead0, commands0 = self._client_marks[position]
+            busy, overhead, commands = client.stats()
+            self._client_marks[position] = (busy, overhead, commands)
+            if commands == commands0:
+                continue
+            shard_busy = self.measured.per_shard_busy_seconds
+            shard_busy[client.shard_index] = (
+                shard_busy.get(client.shard_index, 0.0) + busy - busy0
+            )
+            self.measured.serialization_seconds += overhead - overhead0
+            self.measured.worker_commands += commands - commands0
+
     def close(self) -> None:
-        """Shut down the fan-out thread pool (idempotent)."""
+        """Shut down the fan-out pool and any worker processes (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        for client in self._clients:
+            client.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
@@ -233,6 +321,7 @@ class ShardRouter:
             return self._aggregate(results, time)
         finally:
             self.measured.setup_seconds += _time.perf_counter() - started
+            self._absorb_worker_stats()
 
     def update(self, records: Iterable[Record], time: int) -> UpdateResult:
         """Run Update on the shards receiving records (empty γ goes to shard 0)."""
@@ -247,6 +336,7 @@ class ShardRouter:
         finally:
             self.measured.update_calls += 1
             self.measured.update_seconds += _time.perf_counter() - started
+            self._absorb_worker_stats()
 
     def insert_many(
         self, batches: Mapping[str, Sequence[Record]], time: int
@@ -264,6 +354,7 @@ class ShardRouter:
         finally:
             self.measured.update_calls += 1
             self.measured.update_seconds += _time.perf_counter() - started
+            self._absorb_worker_stats()
 
     def query(self, query: Query, time: int = 0) -> QueryResult:
         """Scatter the query to every shard and gather the partial aggregates."""
@@ -292,6 +383,7 @@ class ShardRouter:
         finally:
             self.measured.query_calls += 1
             self.measured.query_seconds += _time.perf_counter() - started
+            self._absorb_worker_stats()
 
     # -- observable state ----------------------------------------------------
 

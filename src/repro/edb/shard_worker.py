@@ -1,0 +1,380 @@
+"""Persistent per-shard worker processes for the process shard executor.
+
+``ShardRouter(executor="processes")`` moves every shard's state -- EDB,
+ORAM, ciphertext arenas and RNG stream -- into its own long-lived worker
+process.  The division of labour:
+
+* :func:`shard_worker_main` is the worker loop: it owns the shard's
+  :class:`~repro.edb.base.EncryptedDatabase` and serves protocol commands
+  (Setup / Update / insert_many / query), state reads (transcripts, sizes)
+  and arena publications over one duplex pipe, one command at a time.  The
+  shard object crosses the process boundary exactly once, at startup (by
+  fork inheritance on POSIX, one pickle on spawn platforms); afterwards only
+  commands, answers and :class:`UpdateResult`/:class:`QueryResult` payloads
+  travel the pipe -- shard state never pickles again.
+* :class:`ShardWorkerClient` is the coordinator-side proxy.  It exposes the
+  same surface as an in-process :class:`~repro.edb.base.EncryptedDatabase`
+  (protocol methods, observable properties, ``supports``), so the router's
+  scatter-gather code runs unchanged over process-backed shards; static
+  facts (scheme name, cost model, leakage profile) are fetched once at
+  startup, everything else is one synchronous round-trip per access.
+
+Ciphertexts written by a worker (``simulate_encryption=True``) land in
+:class:`~repro.edb.crypto.SharedCiphertextArena` segments, so the
+coordinator reads them zero-copy through an
+:class:`~repro.edb.crypto.ArenaSegmentCache` -- the worker publishes
+``(segment_name, size)`` swaps; bytes never travel the pipe.
+
+Determinism: the worker executes commands strictly in arrival order against
+the very shard object (including its RNG stream state) the in-process
+executors would have used, so answers, transcripts, leakage and
+``QueryResult`` payloads are byte-identical to ``serial``/``threads`` --
+``tests/test_scatter_concurrency.py`` pins this for every checkpoint.
+
+Failure model: a worker that dies (crash, OOM kill) closes its pipe, so the
+blocked coordinator call raises :class:`ShardWorkerDied` naming the shard
+and the in-flight command -- scatter-gather never hangs on a dead pipe and
+never silently merges partial answers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from multiprocessing.connection import Connection
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from repro.edb.crypto import (
+    ArenaSegmentCache,
+    RecordCipher,
+    SharedCiphertextArena,
+)
+from repro.edb.records import Record
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.edb.base import EncryptedDatabase, QueryResult, UpdateResult
+    from repro.edb.cost_model import CostModel
+    from repro.edb.leakage import LeakageProfile
+    from repro.query.ast import Query
+
+__all__ = ["ShardWorkerDied", "ShardWorkerClient", "shard_worker_main"]
+
+
+class ShardWorkerDied(RuntimeError):
+    """A shard worker process died while (or before) serving a command.
+
+    Raised by the coordinator-side proxy instead of hanging on the closed
+    pipe; carries the shard index and the command that was in flight so a
+    failed scatter names its culprit.
+    """
+
+    def __init__(self, shard_index: int, command: str) -> None:
+        self.shard_index = shard_index
+        self.command = command
+        super().__init__(
+            f"shard {shard_index} worker died during {command!r}; "
+            "its partial state is lost and the gathered result was discarded"
+        )
+
+
+#: Worker-side attribute/method allowlist for the generic state-read
+#: commands.  Everything here is an observable the router (or a test)
+#: legitimately reads; keeping it explicit documents the remote surface.
+_READABLE_ATTRS = frozenset(
+    {
+        "scheme_name",
+        "edb_mode",
+        "ciphertext_store",
+        "is_setup",
+        "update_history",
+        "outsourced_count",
+        "dummy_count",
+        "real_count",
+        "storage_bytes",
+    }
+)
+_CALLABLE_METHODS = frozenset(
+    {"table_size", "table_dummy_count", "supports", "setup", "update",
+     "insert_many", "query"}
+)
+
+
+def _shared_arena_factory() -> SharedCiphertextArena:
+    return SharedCiphertextArena()
+
+
+def _arena_states(shard: "EncryptedDatabase") -> dict[str, dict]:
+    """Published ``export_state`` of every shared arena the shard holds."""
+    states: dict[str, dict] = {}
+    for table, arena in getattr(shard, "_arenas", {}).items():
+        if isinstance(arena, SharedCiphertextArena):
+            states[table] = arena.export_state()
+    return states
+
+
+def shard_worker_main(conn: Connection, shard: "EncryptedDatabase", index: int) -> None:
+    """Worker process entry point: serve shard commands until shutdown.
+
+    The loop is strictly sequential -- one command, one reply -- so command
+    order on the pipe *is* execution order on the shard, which is what makes
+    process fan-out observably identical to the serial loop.  Every reply
+    carries the worker-side execution seconds so the coordinator can split
+    its measured wall clock into shard compute vs boundary overhead.
+    """
+    if getattr(shard, "set_arena_factory", None) is not None:
+        # Ciphertext arenas created from now on live in named shared memory
+        # so the coordinator can read rows zero-copy.  (Arenas that existed
+        # before startup stay local; shards are handed over empty.)
+        shard.set_arena_factory(_shared_arena_factory)
+    try:
+        while True:
+            try:
+                command, args = conn.recv()
+            except (EOFError, OSError):
+                break
+            if command == "shutdown":
+                for table_arena in getattr(shard, "_arenas", {}).values():
+                    table_arena.release()
+                conn.send(("ok", None, 0.0))
+                break
+            started = _time.perf_counter()
+            try:
+                payload = _dispatch(shard, command, args)
+                conn.send(("ok", payload, _time.perf_counter() - started))
+            except BaseException as exc:  # noqa: BLE001 - forwarded verbatim
+                busy = _time.perf_counter() - started
+                try:
+                    conn.send(("error", exc, busy))
+                except Exception:
+                    # Unpicklable exception: forward a faithful description.
+                    conn.send(
+                        ("error", RuntimeError(f"{type(exc).__name__}: {exc}"), busy)
+                    )
+    finally:
+        conn.close()
+
+
+def _dispatch(shard: "EncryptedDatabase", command: str, args: tuple):
+    if command == "hello":
+        return {
+            "scheme_name": shard.scheme_name,
+            "edb_mode": shard.edb_mode,
+            "ciphertext_store": getattr(shard, "ciphertext_store", None),
+            "cost_model": shard.cost_model,
+            "leakage_profile": shard.leakage_profile,
+        }
+    if command == "attr":
+        (name,) = args
+        if name not in _READABLE_ATTRS:
+            raise AttributeError(f"attribute {name!r} is not remotely readable")
+        return getattr(shard, name)
+    if command == "cipher_key":
+        cipher = getattr(shard, "cipher", None)
+        return None if cipher is None else cipher.key
+    if command == "arena_states":
+        return _arena_states(shard)
+    if command in _CALLABLE_METHODS:
+        return getattr(shard, command)(*args)
+    raise ValueError(f"unknown shard-worker command {command!r}")
+
+
+class ShardWorkerClient:
+    """Coordinator-side proxy for one shard living in a worker process.
+
+    Mirrors the :class:`~repro.edb.base.EncryptedDatabase` surface the
+    router and the test suite touch, one synchronous pipe round-trip per
+    call.  The proxy is thread-compatible with the router's fan-out pool (a
+    lock serializes pipe use; concurrent calls target *different* shards,
+    so the lock is never contended on the scatter path).
+
+    Measured-wall-clock bookkeeping: ``busy_seconds`` accumulates the
+    worker-reported execution time (true shard compute), and
+    ``overhead_seconds`` the remainder of each round trip (pickling,
+    transport, scheduling) -- the serialization-overhead counter
+    :class:`~repro.edb.router.WallClockStats` surfaces per shard.
+    """
+
+    def __init__(
+        self,
+        shard: "EncryptedDatabase",
+        index: int,
+        context,
+        start: bool = True,
+    ) -> None:
+        self.shard_index = index
+        self.busy_seconds = 0.0
+        self.overhead_seconds = 0.0
+        self.commands = 0
+        self._lock = threading.Lock()
+        self._arena_cache: ArenaSegmentCache | None = None
+        self._cipher: RecordCipher | None = None
+        parent_conn, child_conn = context.Pipe()
+        self._conn = parent_conn
+        self._process = context.Process(
+            target=shard_worker_main,
+            args=(child_conn, shard, index),
+            name=f"shard-worker-{index}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        self._info = self._call("hello")
+
+    # -- pipe plumbing --------------------------------------------------------
+
+    def _call(self, command: str, *args):
+        with self._lock:
+            started = _time.perf_counter()
+            try:
+                self._conn.send((command, args))
+                status, payload, busy = self._conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
+                raise ShardWorkerDied(self.shard_index, command) from None
+            wall = _time.perf_counter() - started
+            self.busy_seconds += busy
+            self.overhead_seconds += max(0.0, wall - busy)
+            self.commands += 1
+        if status == "error":
+            raise payload
+        return payload
+
+    @property
+    def process(self):
+        """The worker process handle (crash tests kill it through this)."""
+        return self._process
+
+    def close(self) -> None:
+        """Shut the worker down (idempotent; never hangs on a dead worker)."""
+        if self._arena_cache is not None:
+            self._arena_cache.close()
+            self._arena_cache = None
+        if self._process.is_alive():
+            try:
+                with self._lock:
+                    self._conn.send(("shutdown", ()))
+                    if self._conn.poll(5.0):
+                        self._conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
+                pass
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+
+    # -- protocol surface (what the router scatters) --------------------------
+
+    def setup(self, records: Iterable[Record], time: int = 0) -> "UpdateResult":
+        return self._call("setup", list(records), time)
+
+    def update(self, records: Iterable[Record], time: int) -> "UpdateResult":
+        return self._call("update", list(records), time)
+
+    def insert_many(
+        self, batches: Mapping[str, Sequence[Record]], time: int
+    ) -> "UpdateResult":
+        return self._call("insert_many", dict(batches), time)
+
+    def query(self, query: "Query", time: int = 0) -> "QueryResult":
+        return self._call("query", query, time)
+
+    def supports(self, query: "Query") -> bool:
+        return self._call("supports", query)
+
+    # -- observable state ------------------------------------------------------
+
+    @property
+    def scheme_name(self) -> str:
+        return self._info["scheme_name"]
+
+    @property
+    def edb_mode(self) -> str:
+        return self._info["edb_mode"]
+
+    @property
+    def ciphertext_store(self) -> str | None:
+        return self._info["ciphertext_store"]
+
+    @property
+    def cost_model(self) -> "CostModel":
+        return self._info["cost_model"]
+
+    @property
+    def leakage_profile(self) -> "LeakageProfile":
+        return self._info["leakage_profile"]
+
+    @property
+    def is_setup(self) -> bool:
+        return self._call("attr", "is_setup")
+
+    @property
+    def update_history(self) -> tuple:
+        return self._call("attr", "update_history")
+
+    @property
+    def outsourced_count(self) -> int:
+        return self._call("attr", "outsourced_count")
+
+    @property
+    def dummy_count(self) -> int:
+        return self._call("attr", "dummy_count")
+
+    @property
+    def real_count(self) -> int:
+        return self._call("attr", "real_count")
+
+    @property
+    def storage_bytes(self) -> float:
+        return self._call("attr", "storage_bytes")
+
+    def table_size(self, table: str) -> int:
+        return self._call("table_size", table)
+
+    def table_dummy_count(self, table: str) -> int:
+        return self._call("table_dummy_count", table)
+
+    # -- zero-copy ciphertext access ------------------------------------------
+
+    @property
+    def cipher(self) -> RecordCipher | None:
+        """A coordinator-side cipher sharing the worker shard's key.
+
+        ``None`` when the shard does not simulate encryption.  Decrypting a
+        zero-copy arena row with it proves the bytes in the shared segment
+        are the worker's real ciphertexts.
+        """
+        if self._cipher is None:
+            key = self._call("cipher_key")
+            if key is None:
+                return None
+            self._cipher = RecordCipher(key=key)
+        return self._cipher
+
+    def arena_cache(self) -> ArenaSegmentCache:
+        """The attachment cache resolving this shard's published arenas."""
+        if self._arena_cache is None:
+            self._arena_cache = ArenaSegmentCache()
+        return self._arena_cache
+
+    def ciphertexts(self, table: str) -> tuple:
+        """Zero-copy views of the worker's stored ciphertexts for ``table``.
+
+        Fetches the arena's published ``(segment_name, size)`` state (a tiny
+        control message), attaches the named segment and returns
+        :class:`~repro.edb.crypto.ArenaRecord` views over it -- ciphertext
+        bytes themselves never travel the pipe.  Returns ``()`` when the
+        shard holds no (shared) arena for the table.
+        """
+        states = self._call("arena_states")
+        state = states.get(table)
+        if state is None:
+            return ()
+        view = self.arena_cache().publish(state)
+        return view.records()
+
+    def stats(self) -> tuple[float, float, int]:
+        """Cumulative (busy_seconds, overhead_seconds, commands) counters."""
+        return self.busy_seconds, self.overhead_seconds, self.commands

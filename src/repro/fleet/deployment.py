@@ -231,6 +231,18 @@ class Deployment:
         """
         return getattr(self._edb, "measured", None)
 
+    def close(self) -> None:
+        """Release the shared EDB's resources (idempotent).
+
+        Required for routers running the process shard executor, whose
+        worker processes and shared-memory ciphertext arenas outlive the
+        deployment object unless explicitly shut down; a no-op for plain
+        in-process back-ends.
+        """
+        close = getattr(self._edb, "close", None)
+        if close is not None:
+            close()
+
     @property
     def analyst(self) -> Analyst:
         """The fleet-level analyst."""

@@ -24,6 +24,12 @@ point.  On an L-DP back-end (Crypt-epsilon) each shard perturbs its partial
 answer independently, so the gathered answer carries the *sum* of K noise
 draws (K-fold variance): semantically each shard is its own L-DP EDB, but
 sharding is not accuracy-free there the way it is on exact back-ends.
+
+Because the merges are deterministic functions of the per-shard partials
+taken in shard-index order, the same plan runs unchanged on every router
+executor -- sequential loop, thread pool, or persistent worker processes
+(:mod:`repro.edb.shard_worker`); only where the partials are *computed*
+moves, never what the coordinator gathers.
 """
 
 from __future__ import annotations

@@ -39,7 +39,6 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-import multiprocessing
 import os
 import sys
 import time
@@ -59,6 +58,7 @@ from repro.edb.router import ShardRouter, resolve_shard_executor
 from repro.query.ast import JoinCountQuery, Query
 from repro.simulation.results import RunResult
 from repro.simulation.simulator import Simulation, SimulationConfig, derive_schema
+from repro.util.mp import preferred_mp_context
 from repro.workload.scenarios import build_scenario, partition_fleet, scenario_queries
 
 __all__ = [
@@ -142,8 +142,9 @@ def make_sharded_backend(
     draw their seeds from ``SeedSequence([seed, shard_index])`` -- adding a
     shard never disturbs the noise streams of the existing ones.
     ``shard_executor`` selects the fan-out executor (``"threads"`` runs
-    per-shard protocol work concurrently, ``"serial"`` sequentially; results
-    are byte-identical either way).
+    per-shard protocol work concurrently, ``"serial"`` sequentially,
+    ``"processes"`` in persistent per-shard worker processes; results are
+    byte-identical in every case).
     """
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
@@ -199,8 +200,9 @@ class CellSpec:
 
     Hot-path fields: ``shard_executor`` picks the router's fan-out executor
     (``"threads"`` scatters Setup/Update/Query across the shards
-    concurrently; ``"serial"`` keeps the sequential loop -- cell results are
-    byte-identical either way, only wall clock moves), and
+    concurrently; ``"serial"`` keeps the sequential loop; ``"processes"``
+    moves each shard into a persistent worker process -- cell results are
+    byte-identical in every case, only wall clock moves), and
     ``simulate_encryption`` runs every outsourced record through the real
     record cipher (into a contiguous ciphertext arena in fast mode, the
     per-record object store in reference mode).
@@ -780,11 +782,9 @@ class GridRunner:
         total: int,
         started: float,
     ) -> int:
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context()
-        executor = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        executor = ProcessPoolExecutor(
+            max_workers=workers, mp_context=preferred_mp_context()
+        )
         done = progress.done_offset
         try:
             future_to_spec = {
@@ -860,9 +860,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--shard-executor",
         default="threads",
-        choices=["threads", "serial"],
-        help="shard fan-out executor: concurrent thread pool (default) or the "
-        "sequential loop; cell results are byte-identical either way",
+        choices=["threads", "serial", "processes"],
+        help="shard fan-out executor: concurrent thread pool (default), the "
+        "sequential loop, or persistent per-shard worker processes; cell "
+        "results are byte-identical in every case",
     )
     parser.add_argument(
         "--simulate-encryption",

@@ -166,22 +166,25 @@ class Simulation:
         :meth:`run_legacy` at the same seed.
         """
         ctx = self._build()
-        truth = ctx.analyst.truth_source
-        engine = Engine(ctx.horizon)
-        for stream, owner in ctx.owners.items():
-            engine.add_stream(
-                stream,
-                deliver=self._make_deliver(owner, truth),
-                arrivals=self._workloads[stream].arrivals(),
-                next_self_event=owner.strategy.next_event,
-            )
-        if self._config.query_interval:
-            engine.add_periodic(
-                self._config.query_interval,
-                lambda time: self._observe(time, ctx),
-            )
-        engine.run()
-        return self._finalize(ctx)
+        try:
+            truth = ctx.analyst.truth_source
+            engine = Engine(ctx.horizon)
+            for stream, owner in ctx.owners.items():
+                engine.add_stream(
+                    stream,
+                    deliver=self._make_deliver(owner, truth),
+                    arrivals=self._workloads[stream].arrivals(),
+                    next_self_event=owner.strategy.next_event,
+                )
+            if self._config.query_interval:
+                engine.add_periodic(
+                    self._config.query_interval,
+                    lambda time: self._observe(time, ctx),
+                )
+            engine.run()
+            return self._finalize(ctx)
+        finally:
+            self._close_edb(ctx)
 
     def run_legacy(self) -> RunResult:
         """Execute the simulation with the original per-tick loop.
@@ -191,16 +194,31 @@ class Simulation:
         tables.  The equivalence tests pin :meth:`run` against it.
         """
         ctx = self._build(incremental_truth=False)
-        clock = SimulationClock(
-            horizon=ctx.horizon, query_interval=self._config.query_interval
-        )
-        for time in clock.iter_ticks():
-            for stream, owner in ctx.owners.items():
-                update = self._workloads[stream].update_at(time)
-                owner.tick(time, update)
-            if clock.is_query_time():
-                self._observe(time, ctx)
-        return self._finalize(ctx)
+        try:
+            clock = SimulationClock(
+                horizon=ctx.horizon, query_interval=self._config.query_interval
+            )
+            for time in clock.iter_ticks():
+                for stream, owner in ctx.owners.items():
+                    update = self._workloads[stream].update_at(time)
+                    owner.tick(time, update)
+                if clock.is_query_time():
+                    self._observe(time, ctx)
+            return self._finalize(ctx)
+        finally:
+            self._close_edb(ctx)
+
+    @staticmethod
+    def _close_edb(ctx: "_RunContext") -> None:
+        """Release EDB resources after a run (worker processes, shared memory).
+
+        In-process back-ends make this a cheap no-op, but a run over a
+        process-executor :class:`~repro.edb.router.ShardRouter` must always
+        tear its workers down, even when the run raises.
+        """
+        close = getattr(ctx.edb, "close", None)
+        if close is not None:
+            close()
 
     # -- construction ---------------------------------------------------------------
 

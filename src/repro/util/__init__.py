@@ -1,0 +1,5 @@
+"""Small shared utilities that several subsystems depend on.
+
+Kept deliberately tiny: anything here is infrastructure (process management,
+platform probing) with no knowledge of the paper's domain objects.
+"""

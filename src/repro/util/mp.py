@@ -1,0 +1,70 @@
+"""Multiprocessing plumbing shared by the grid runner and the shard fleet.
+
+Two pieces of process infrastructure were about to exist twice -- context
+selection (the grid runner's pool and the shard-worker processes both want
+fork on POSIX with a spawn fallback elsewhere) and affinity-aware CPU
+counting (every wall-clock speedup floor gates on it).  This module is the
+single copy.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from multiprocessing import shared_memory
+
+__all__ = ["preferred_mp_context", "usable_cpus", "attach_shared_memory"]
+
+
+def preferred_mp_context(
+    prefer: str = "fork",
+) -> multiprocessing.context.BaseContext:
+    """The multiprocessing context to use: ``prefer`` when available.
+
+    Fork is preferred on POSIX because it transfers already-constructed
+    worker state (shard EDBs, RNG streams) by memory inheritance instead of
+    pickling; platforms without fork (Windows, some macOS configurations)
+    fall back to the platform default (spawn), where the same state is
+    pickled exactly once at worker startup.
+    """
+    try:
+        return multiprocessing.get_context(prefer)
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    The single source of the CPU-detection rule: wall-clock speedup floors
+    (process pools, shard fan-out) and the executor footgun warning all gate
+    on this, so a future refinement (e.g. cgroup quota awareness) lands in
+    one place.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing named shared-memory segment without owning it.
+
+    On Python >= 3.13 this is ``SharedMemory(name, track=False)``; on older
+    versions attaching also registers the segment with the process-wide
+    resource tracker, which would unlink it when *this* process exits even
+    though the creating worker still owns it -- so the registration is
+    undone immediately.  Either way the caller must :meth:`close` (never
+    ``unlink``) the returned handle; unlinking is the creator's job.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        segment = shared_memory.SharedMemory(name=name, create=False)
+        try:  # pragma: no cover - registry internals differ across versions
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        return segment

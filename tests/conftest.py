@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,29 @@ from repro.core.strategies.flush import FlushPolicy
 from repro.edb.records import Record, Schema, make_dummy_record
 from repro.workload.generator import build_growing_database, poisson_arrivals
 from repro.workload.stream import GrowingDatabase
+
+
+def _leaked_arena_segments() -> list[str]:
+    """Shared-memory arena segments currently visible under /dev/shm."""
+    shm = "/dev/shm"
+    if not os.path.isdir(shm):  # pragma: no cover - non-Linux
+        return []
+    return sorted(name for name in os.listdir(shm) if name.startswith("repro-arena-"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_arena_segments():
+    """Fail the session if any shared-memory arena segment outlives it.
+
+    Every :class:`~repro.edb.crypto.SharedCiphertextArena` creates a named
+    POSIX segment; leaking one would fill ``/dev/shm`` across CI runs.  Any
+    test (or worker process) that creates shared arenas must release them --
+    this fixture is the backstop that keeps that contract honest.
+    """
+    before = _leaked_arena_segments()
+    yield
+    leaked = [name for name in _leaked_arena_segments() if name not in before]
+    assert not leaked, f"leaked shared-memory arena segments: {leaked}"
 
 
 @pytest.fixture

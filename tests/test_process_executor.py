@@ -1,0 +1,200 @@
+"""Process shard executor: worker lifecycle, crash robustness, zero-copy reads.
+
+The byte-identity of ``executor="processes"`` against ``serial``/``threads``
+is pinned by ``tests/test_scatter_concurrency.py``; this suite covers what is
+*specific* to the process boundary:
+
+* a killed worker surfaces as a clear :class:`ShardWorkerDied` naming the
+  shard and the in-flight command -- never a hang on a dead pipe;
+* the measured ledger splits coordinator wall clock into per-shard worker
+  busy time and serialization overhead, and only for the process executor;
+* ciphertexts written by a worker are read zero-copy by the coordinator out
+  of the published shared-memory segment (and decrypt with the worker's key),
+  including after the arena grows into a fresh segment;
+* workers and their shared-memory segments are torn down by ``close()``
+  (idempotent), so nothing leaks into ``/dev/shm`` -- the session-scoped
+  conftest fixture backstops this for the whole suite;
+* the single-CPU footgun warning fires exactly once per concurrent executor.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+import numpy as np
+import pytest
+
+from repro.edb import router as router_module
+from repro.edb.oblidb import ObliDB
+from repro.edb.records import Record, Schema
+from repro.edb.router import ShardRouter, resolve_shard_executor
+from repro.edb.shard_worker import ShardWorkerClient, ShardWorkerDied
+from repro.query.ast import CountQuery
+
+SCHEMA = Schema(name="events", attributes=("key", "value"))
+
+
+def _records(n: int, start: int = 0, time: int = 1) -> list[Record]:
+    return [
+        Record(
+            values={"key": (start + i) % 7, "value": start + i},
+            arrival_time=time,
+            table="events",
+        )
+        for i in range(n)
+    ]
+
+
+def _process_router(n_shards: int = 2, **backend_kwargs) -> ShardRouter:
+    return ShardRouter(
+        [
+            ObliDB(rng=np.random.default_rng(40 + index), **backend_kwargs)
+            for index in range(n_shards)
+        ],
+        route_seed=3,
+        executor="processes",
+    )
+
+
+def test_killed_worker_raises_shard_worker_died_without_hanging():
+    """A worker killed mid-deployment turns into a named error, not a hang."""
+    router = _process_router(n_shards=2)
+    try:
+        router.setup(_records(20))
+        victim = router.shards[1]
+        assert isinstance(victim, ShardWorkerClient)
+        victim.process.kill()
+        victim.process.join(timeout=5.0)
+        with pytest.raises(ShardWorkerDied) as excinfo:
+            router.query(CountQuery(table="events", label="Q1"), time=2)
+        assert excinfo.value.shard_index == 1
+        # The recorded command is whatever was in flight when the death was
+        # discovered -- here the router's pre-query is_setup sweep.
+        assert excinfo.value.command == "attr"
+        assert "shard 1" in str(excinfo.value)
+        assert "'attr'" in str(excinfo.value)
+        # Talking to the dead shard directly names the protocol command.
+        with pytest.raises(ShardWorkerDied) as direct:
+            victim.query(CountQuery(table="events", label="Q1"), time=2)
+        assert direct.value.command == "query"
+        # The surviving worker is still responsive; the router as a whole
+        # keeps failing loudly rather than silently gathering partials.
+        assert router.shards[0].is_setup
+    finally:
+        router.close()
+
+
+def test_measured_ledger_splits_worker_busy_and_serialization():
+    """Per-shard busy + serialization counters fill in, and reset cleanly."""
+    router = _process_router(n_shards=2)
+    try:
+        router.setup(_records(40))
+        router.insert_many({"events": _records(30, start=40, time=2)}, time=2)
+        router.query(CountQuery(table="events", label="Q1"), time=2)
+        measured = router.measured
+        assert set(measured.per_shard_busy_seconds) == {0, 1}
+        assert all(busy > 0.0 for busy in measured.per_shard_busy_seconds.values())
+        assert measured.serialization_seconds > 0.0
+        assert measured.worker_commands > 0
+        # The split is consistent with the coordinator's own wall clock:
+        # worker busy time never exceeds what the coordinator waited overall.
+        waited = (
+            measured.setup_seconds + measured.update_seconds + measured.query_seconds
+        )
+        assert sum(measured.per_shard_busy_seconds.values()) <= waited * 2
+        measured.reset()
+        assert measured.per_shard_busy_seconds == {}
+        assert measured.serialization_seconds == 0.0
+        assert measured.worker_commands == 0
+    finally:
+        router.close()
+
+
+def test_in_process_executors_report_no_worker_counters():
+    """Threads/serial have no process boundary, so those counters stay zero."""
+    for executor in ("threads", "serial"):
+        router = ShardRouter(
+            [ObliDB(rng=np.random.default_rng(40 + i)) for i in range(2)],
+            route_seed=3,
+            executor=executor,
+        )
+        try:
+            router.setup(_records(10))
+            router.query(CountQuery(table="events", label="Q1"), time=1)
+            assert router.measured.per_shard_busy_seconds == {}
+            assert router.measured.serialization_seconds == 0.0
+            assert router.measured.worker_commands == 0
+        finally:
+            router.close()
+
+
+def test_coordinator_reads_worker_ciphertexts_zero_copy():
+    """Arena rows written in workers decrypt on the coordinator, zero-copy.
+
+    Each worker publishes its shared segment's name; the coordinator attaches
+    it and decrypts the rows with the worker's key -- the ciphertext bytes
+    themselves never travel the pipe.  160 records per shard force at least
+    one arena growth past the initial 64-row capacity, so the published
+    segment is a *later generation* than the first one created.
+    """
+    router = _process_router(n_shards=2, simulate_encryption=True)
+    try:
+        inserted = _records(320)
+        router.setup(inserted)
+        decrypted = []
+        for client in router.shards:
+            assert isinstance(client, ShardWorkerClient)
+            views = client.ciphertexts("events")
+            assert len(views) == client.table_size("events")
+            # Zero-copy: each row is a read-only memoryview into the attached
+            # segment, not bytes that crossed the pipe.
+            assert isinstance(views[0].ciphertext, memoryview)
+            assert views[0].ciphertext.readonly
+            cipher = client.cipher
+            assert cipher is not None
+            decrypted.extend(cipher.decrypt_many(views))
+        assert sorted(r.values["value"] for r in decrypted) == sorted(
+            r.values["value"] for r in inserted
+        )
+        assert {r.table for r in decrypted} == {"events"}
+    finally:
+        router.close()
+    # Teardown unlinked every published segment.
+    if os.path.isdir("/dev/shm"):
+        assert not [f for f in os.listdir("/dev/shm") if f.startswith("repro-arena-")]
+
+
+def test_close_is_idempotent_and_unlinks_segments():
+    router = _process_router(n_shards=2, simulate_encryption=True)
+    router.setup(_records(100))
+    processes = [client.process for client in router.shards]
+    router.close()
+    router.close()
+    for process in processes:
+        assert not process.is_alive()
+    if os.path.isdir("/dev/shm"):
+        assert not [f for f in os.listdir("/dev/shm") if f.startswith("repro-arena-")]
+
+
+def test_single_cpu_footgun_warns_once(monkeypatch, caplog):
+    """Concurrent executors on a 1-CPU host warn exactly once per executor."""
+    monkeypatch.setattr(router_module, "usable_cpus", lambda: 1)
+    monkeypatch.setattr(router_module, "_warned_single_cpu", set())
+    with caplog.at_level(logging.WARNING, logger="repro.edb.router"):
+        resolve_shard_executor("threads")
+        resolve_shard_executor("threads")
+        resolve_shard_executor("processes")
+        resolve_shard_executor("serial")
+    warnings = [r for r in caplog.records if "single-CPU" in r.message]
+    assert len(warnings) == 2
+    assert {w.args[0] for w in warnings} == {"threads", "processes"}
+
+
+def test_no_warning_on_multi_cpu_host(monkeypatch, caplog):
+    monkeypatch.setattr(router_module, "usable_cpus", lambda: 4)
+    monkeypatch.setattr(router_module, "_warned_single_cpu", set())
+    with caplog.at_level(logging.WARNING, logger="repro.edb.router"):
+        resolve_shard_executor("threads")
+        resolve_shard_executor("processes")
+    assert not [r for r in caplog.records if "single-CPU" in r.message]

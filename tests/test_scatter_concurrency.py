@@ -1,14 +1,19 @@
-"""Concurrent scatter-gather equivalence: threads vs the sequential loop.
+"""Concurrent scatter-gather equivalence: threads/processes vs the loop.
 
 The :class:`~repro.edb.router.ShardRouter` claims its pluggable executor is
 purely a wall-clock knob: with ``executor="threads"`` the per-shard Setup /
-Update / Query work runs concurrently on a pool, yet every observable --
-gathered answers, the aggregated and per-shard ``(t, |γ|)`` transcripts,
-per-shard sizes, storage and the simulated QET -- is byte-identical to
-``executor="serial"`` at a fixed seed.  This suite pins that claim for
-K ∈ {1, 2, 4}, including under mid-query shard-size skew (heavily unbalanced
-per-table batches arriving between query checkpoints, so some shards are busy
-while others idle) and for every query shape the scatter plan supports.
+Update / Query work runs concurrently on a pool, and with
+``executor="processes"`` inside persistent per-shard worker processes, yet
+every observable -- gathered answers, the aggregated and per-shard
+``(t, |γ|)`` transcripts, per-shard sizes, storage and the simulated QET --
+is byte-identical to ``executor="serial"`` at a fixed seed.  This suite pins
+that claim for K ∈ {1, 2, 4}, including under mid-query shard-size skew
+(heavily unbalanced per-table batches arriving between query checkpoints, so
+some shards are busy while others idle) and for every query shape the
+scatter plan supports.  For the process executor the equivalence is the
+stronger statement: each shard's EDB *and RNG stream* live in a forked
+worker, so identical transcripts prove the noise streams and ingest order
+survived the process boundary untouched.
 """
 
 from __future__ import annotations
@@ -125,31 +130,37 @@ def _drive(router: ShardRouter, batches) -> tuple[list, list]:
     return answers, transcripts
 
 
+@pytest.mark.parametrize("executor", ["threads", "processes"])
 @pytest.mark.parametrize("backend", [ObliDB, CryptEpsilon], ids=["oblidb", "crypte"])
 @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
-def test_threaded_scatter_gather_equals_sequential(backend, n_shards):
-    """Answers and (t, |γ|) transcripts identical across executors."""
+def test_concurrent_scatter_gather_equals_sequential(executor, backend, n_shards):
+    """Answers and (t, |γ|) transcripts identical across executors.
+
+    For ``processes`` the per-shard state assertions below run *through the
+    worker proxies* (pipe round-trips), pinning that the remote observable
+    surface matches the in-process one exactly.
+    """
     batches = _skewed_batches()
-    threaded = _make_router(backend, n_shards, "threads")
+    concurrent = _make_router(backend, n_shards, executor)
     serial = _make_router(backend, n_shards, "serial")
     try:
-        threaded_answers, threaded_transcripts = _drive(threaded, batches)
+        concurrent_answers, concurrent_transcripts = _drive(concurrent, batches)
         serial_answers, serial_transcripts = _drive(serial, batches)
-    finally:
-        threaded.close()
-        serial.close()
 
-    assert threaded.shard_executor == "threads"
-    assert serial.shard_executor == "serial"
-    assert threaded_answers == serial_answers
-    assert threaded_transcripts == serial_transcripts
-    # Per-shard state is identical too, not just the merged surface.
-    for left, right in zip(threaded.shards, serial.shards):
-        assert left.update_history == right.update_history
-        for table in TABLES:
-            assert left.table_size(table) == right.table_size(table)
-            assert left.table_dummy_count(table) == right.table_dummy_count(table)
-    assert threaded.storage_bytes == serial.storage_bytes
+        assert concurrent.shard_executor == executor
+        assert serial.shard_executor == "serial"
+        assert concurrent_answers == serial_answers
+        assert concurrent_transcripts == serial_transcripts
+        # Per-shard state is identical too, not just the merged surface.
+        for left, right in zip(concurrent.shards, serial.shards):
+            assert left.update_history == right.update_history
+            for table in TABLES:
+                assert left.table_size(table) == right.table_size(table)
+                assert left.table_dummy_count(table) == right.table_dummy_count(table)
+        assert concurrent.storage_bytes == serial.storage_bytes
+    finally:
+        concurrent.close()
+        serial.close()
 
 
 def test_measured_wall_clock_is_recorded_without_touching_observables():
@@ -189,15 +200,16 @@ def test_fleet_cell_results_identical_across_executors():
         backend_seed=1,
         workload_seed=7,
     )
-    threaded = run_cell(dataclasses.replace(base, shard_executor="threads"))
-    serial = run_cell(dataclasses.replace(base, shard_executor="serial"))
-    threaded_payload = threaded.to_dict()
-    serial_payload = serial.to_dict()
-    # The spec parameters record which executor ran; everything the run
-    # *observed* must match.
-    threaded_payload["parameters"].pop("shard_executor", None)
-    serial_payload["parameters"].pop("shard_executor", None)
-    assert threaded_payload == serial_payload
+    payloads = {}
+    for executor in ("threads", "serial", "processes"):
+        result = run_cell(dataclasses.replace(base, shard_executor=executor))
+        payload = result.to_dict()
+        # The spec parameters record which executor ran; everything the run
+        # *observed* must match.
+        payload["parameters"].pop("shard_executor", None)
+        payloads[executor] = payload
+    assert payloads["threads"] == payloads["serial"]
+    assert payloads["processes"] == payloads["serial"]
 
 
 def test_unknown_executor_rejected():
