@@ -220,6 +220,18 @@ def test_measured_concurrent_query_wall_clock(bench_settings):
                     query, time=0
                 ), f"executor divergence for {query.name} at K={k}"
 
+        # Call counters share one attempt-counting basis across the whole
+        # protocol surface (setup included); snapshot before the timed phase
+        # resets the ledger.
+        protocol_calls = {
+            str(k): {
+                "setup": routers[k].measured.setup_calls,
+                "update": routers[k].measured.update_calls,
+                "query": routers[k].measured.query_calls,
+            }
+            for k in SHARD_COUNTS
+        }
+
         def _measure(router) -> float:
             router.measured.reset()
             start = time.perf_counter()
@@ -263,6 +275,7 @@ def test_measured_concurrent_query_wall_clock(bench_settings):
                 str(k): round(routers[k].measured.query_seconds, 4)
                 for k in SHARD_COUNTS
             },
+            "router_protocol_calls_before_timing": protocol_calls,
             # K=4 boundary accounting: how much of the coordinator's wait was
             # worker compute vs pickling/transport across the process boundary.
             "worker_busy_seconds_by_shard_at_4": {

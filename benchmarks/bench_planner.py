@@ -1,0 +1,217 @@
+"""Scatter-planner benchmark: pruned single-partition queries vs fan-out.
+
+Emits ``BENCH_planner.json`` at the repository root with three sections:
+
+1. **pruned_query** -- a spread ``Users`` table and a tiny single-partition
+   ``Audit`` table (all of whose records hash-route to one shard at the
+   chosen route seed) are ingested into planner-off and planner-on K=4
+   ObliDB routers.  The gathered :class:`~repro.edb.base.QueryResult`\\ s
+   must be identical -- answer, QET observable, scan counts -- while the
+   *total simulated shard work actually executed* (the sum of per-shard
+   QETs, which fan-out spends on shards that provably hold nothing) drops
+   by the pruning factor.  The acceptance floor
+   (``REPRO_BENCH_MIN_PLANNER_SPEEDUP``, default 2x) is on that simulated
+   total-work ratio: it is model-derived and hardware independent, so it is
+   **always enforced**.  The gathered QET (max over shards) is asserted
+   equal rather than faster: pruning removes floor-cost work from idle
+   shards, it never changes the critical path.
+2. **measured_wall_clock** -- the same pruned query repeated through both
+   routers, recording real coordinator wall clock per gathered query.  The
+   measured floor (``REPRO_BENCH_MIN_PLANNER_MEASURED_SPEEDUP``, default
+   1.2x) is enforced on >= 2 usable CPUs and recorded as
+   ``"skipped_single_cpu"`` otherwise -- single-CPU containers still record
+   the honest numbers plus ``affinity_cpus`` for context.
+3. **explain_sample** -- the planner's :meth:`explain` report for the
+   pruned query after the measured repeats: the chosen plan, estimated vs
+   measured cost, why the fan-out alternatives lost, and the calibrator
+   state the measured-feedback loop has accumulated.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import (
+    bench_environment,
+    emit_report,
+    merge_bench_json,
+    usable_cpus,
+)
+from repro.edb.records import Record
+from repro.simulation.runner import make_sharded_backend
+from repro.query.sql import parse_query
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
+#: Simulated total-shard-work floor for the pruned query (hardware
+#: independent, always enforced).
+MIN_PLANNER_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_PLANNER_SPEEDUP", "2.0"))
+#: Measured wall-clock floor for the pruned query (gated on >= 2 CPUs).
+MIN_MEASURED_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_PLANNER_MEASURED_SPEEDUP", "1.2")
+)
+USERS_ROWS = int(os.environ.get("REPRO_BENCH_PLANNER_ROWS", "12000"))
+MEASURED_REPEATS = int(os.environ.get("REPRO_BENCH_PLANNER_REPEATS", "40"))
+N_SHARDS = 4
+#: Route seed chosen so the 3-record ``Audit`` table hash-routes entirely to
+#: shard 0 while ``Users`` spreads across all four shards (the benchmark
+#: asserts both, so a routing change fails loudly instead of skewing).
+ROUTE_SEED = 7
+AUDIT_ROWS = 3
+
+
+def _records() -> dict[str, list[Record]]:
+    rng = np.random.default_rng(23)
+    users = rng.integers(1, 100_000, size=USERS_ROWS)
+    regions = rng.integers(1, 32, size=USERS_ROWS)
+    return {
+        "Users": [
+            Record(table="Users", values={"value": int(u), "region": int(r)})
+            for u, r in zip(users, regions)
+        ],
+        "Audit": [
+            Record(table="Audit", values={"value": i, "region": 1})
+            for i in range(AUDIT_ROWS)
+        ],
+    }
+
+
+def _build_routers():
+    """Planner-off and planner-on K=4 routers over identical shard fleets."""
+    routers = {}
+    for planner in ("off", "on"):
+        router = make_sharded_backend(
+            "oblidb", N_SHARDS, seed=ROUTE_SEED, planner=planner
+        )()
+        router.setup([])
+        routers[planner] = router
+    batches = _records()
+    for router in routers.values():
+        router.insert_many(batches, time=1)
+    return routers["off"], routers["on"]
+
+
+def test_pruned_query_simulated_work_and_wall_clock(bench_settings):
+    pruned_query = parse_query(
+        "SELECT COUNT(*) FROM Audit WHERE value BETWEEN 0 AND 100", label="Q-audit"
+    )
+    spread_query = parse_query(
+        "SELECT region, COUNT(*) FROM Users GROUP BY region", label="Q-users"
+    )
+
+    off, on = _build_routers()
+    try:
+        audit_counts = on.table_shard_counts("Audit")
+        touched = [index for index, count in enumerate(audit_counts) if count]
+        assert touched == [0], (
+            f"route seed {ROUTE_SEED} no longer isolates Audit: {audit_counts}"
+        )
+        assert all(on.table_shard_counts("Users")), "Users should spread everywhere"
+
+        # -- gathered observables identical, executed shard work pruned ------
+        off_result = off.query(pruned_query, time=2)
+        on_result = on.query(pruned_query, time=2)
+        assert on_result == off_result, "pruning changed a gathered observable"
+
+        # Fan-out executes every shard; the per-shard QETs it spends are what
+        # the planner's pruning saves, so sum them as the off-path work.
+        off_work = sum(
+            shard.query(pruned_query, time=2).qet_seconds for shard in off.shards
+        )
+        plan = on.planner.last_plan(pruned_query)
+        on_work = sum(plan.executed_qet_seconds)
+        assert plan.chosen.key.startswith("prune/")
+        work_speedup = off_work / max(on_work, 1e-12)
+        assert work_speedup >= MIN_PLANNER_SPEEDUP, (
+            f"simulated total-work speedup {work_speedup:.2f}x below the "
+            f"{MIN_PLANNER_SPEEDUP}x floor"
+        )
+
+        # Sanity: a table that lives everywhere keeps the fan-out plan.
+        spread_off = off.query(spread_query, time=2)
+        spread_on = on.query(spread_query, time=2)
+        assert spread_on == spread_off
+        spread_plan = on.planner.last_plan(spread_query)
+        assert spread_plan.chosen.key.startswith("fanout/")
+
+        payload = {
+            "benchmark": "planner_pruned_query",
+            "backend": "oblidb",
+            "n_shards": N_SHARDS,
+            "route_seed": ROUTE_SEED,
+            "users_rows": USERS_ROWS,
+            "audit_rows": AUDIT_ROWS,
+            "audit_shards_touched": touched,
+            "gathered_observables_identical": True,
+            "gathered_qet_seconds": round(on_result.qet_seconds, 6),
+            "fanout_total_work_seconds": round(off_work, 6),
+            "pruned_total_work_seconds": round(on_work, 6),
+            "simulated_work_speedup": round(work_speedup, 2),
+            "min_simulated_work_speedup": MIN_PLANNER_SPEEDUP,
+            "simulated_floor": "enforced",
+            "spread_query_plan": spread_plan.chosen.key,
+            "pruned_query_plan": plan.chosen.key,
+        }
+        merge_bench_json(OUTPUT_PATH, "pruned_query", payload)
+
+        # -- measured wall clock ---------------------------------------------
+        def _measure(router) -> float:
+            router.measured.reset()
+            start = time.perf_counter()
+            for repeat in range(MEASURED_REPEATS):
+                router.query(pruned_query, time=2 + repeat)
+            return time.perf_counter() - start
+
+        wall_off = _measure(off)
+        wall_on = _measure(on)
+        measured_speedup = wall_off / max(wall_on, 1e-9)
+        cpus = usable_cpus()
+        floor = "enforced" if cpus >= 2 else "skipped_single_cpu"
+        if floor == "enforced":
+            assert measured_speedup >= MIN_MEASURED_SPEEDUP, (
+                f"measured pruned-query speedup {measured_speedup:.2f}x below "
+                f"the {MIN_MEASURED_SPEEDUP}x floor"
+            )
+        measured_payload = {
+            "benchmark": "planner_measured_wall_clock",
+            "repeats": MEASURED_REPEATS,
+            "affinity_cpus": cpus,
+            "wall_seconds_planner_off": round(wall_off, 4),
+            "wall_seconds_planner_on": round(wall_on, 4),
+            "seconds_per_query_off": round(wall_off / MEASURED_REPEATS, 6),
+            "seconds_per_query_on": round(wall_on / MEASURED_REPEATS, 6),
+            "measured_speedup": round(measured_speedup, 2),
+            "min_measured_speedup": MIN_MEASURED_SPEEDUP,
+            "measured_floor": floor,
+        }
+        merge_bench_json(OUTPUT_PATH, "measured_wall_clock", measured_payload)
+
+        # -- explain() sample (post-repeats, so the calibrator has state) ----
+        explain = on.explain(pruned_query)
+        merge_bench_json(
+            OUTPUT_PATH,
+            "explain_sample",
+            {"benchmark": "planner_explain_sample", "explain": explain},
+        )
+
+        emit_report(
+            "planner_pruned_query",
+            f"Pruned single-partition query over {N_SHARDS} ObliDB shards "
+            f"({USERS_ROWS} Users rows spread, {AUDIT_ROWS} Audit rows on "
+            f"shard {touched[0]})\n\n"
+            f"gathered observables        identical (answer/QET/scans)\n"
+            f"simulated total shard work  {off_work:.4f} s -> {on_work:.4f} s "
+            f"({work_speedup:.2f}x, floor {MIN_PLANNER_SPEEDUP}x enforced)\n"
+            f"measured wall clock/query   "
+            f"{wall_off / MEASURED_REPEATS * 1e3:.3f} ms -> "
+            f"{wall_on / MEASURED_REPEATS * 1e3:.3f} ms "
+            f"({measured_speedup:.2f}x, floor {floor})\n"
+            f"chosen plan                 {plan.chosen.key} "
+            f"(spread query kept {spread_plan.chosen.key})",
+        )
+    finally:
+        off.close()
+        on.close()

@@ -209,15 +209,43 @@ class EncryptedDatabase:
         grouped = {table: list(rows) for table, rows in batches.items() if rows}
         return self._ingest_grouped(grouped, time, is_setup=False)
 
-    def query(self, query: Query, time: int = 0) -> QueryResult:
-        """Run the Query protocol and return the analyst-visible answer."""
+    @property
+    def query_executors(self) -> tuple[str, ...]:
+        """Enclave-side execution strategies this EDB can run a query with.
+
+        ``"columnar"`` is the vectorized fast path (fast mode only);
+        ``"rows"`` the row-at-a-time plan interpreter.  Both produce
+        bit-identical answers and work counters -- only wall clock differs --
+        which is what lets the scatter planner pick per shard.
+        """
+        if self._mode == "fast":
+            return ("columnar", "rows")
+        return ("rows",)
+
+    def query(
+        self, query: Query, time: int = 0, executor: str | None = None
+    ) -> QueryResult:
+        """Run the Query protocol and return the analyst-visible answer.
+
+        ``executor`` optionally forces one of :attr:`query_executors`;
+        ``None`` keeps the mode's default strategy.  The choice is invisible
+        in every observable (answer, QET, scan counts, noise flag).
+        """
         if not self._is_setup:
             raise RuntimeError("Query invoked before Setup")
         if not self._cost_model.supports(query):
             raise UnsupportedQueryError(
                 f"{self._scheme_name} does not support {type(query).__name__}"
             )
-        answer, stats = self._executor.execute_with_stats(query, rewrite=True)
+        if executor is not None and executor not in self.query_executors:
+            raise ValueError(
+                f"query executor must be one of {self.query_executors}, "
+                f"got {executor!r}"
+            )
+        if executor == "rows":
+            answer, stats = self._executor.execute_rows_with_stats(query, rewrite=True)
+        else:
+            answer, stats = self._executor.execute_with_stats(query, rewrite=True)
         answer, noise_injected = self._postprocess_answer(query, answer)
         qet = self._cost_model.query_cost(query, dict(self._table_totals))
         return QueryResult(

@@ -60,15 +60,22 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.edb.base import EncryptedDatabase, QueryResult, UpdateResult
 from repro.edb.cost_model import CostModel, UnsupportedQueryError
-from repro.edb.leakage import LeakageProfile, update_pattern_observables
+from repro.edb.leakage import LeakageClass, LeakageProfile, update_pattern_observables
 from repro.edb.records import Record
 from repro.edb.shard_worker import ShardWorkerClient
 from repro.query.ast import JoinCountQuery, Query
+from repro.query.planner import (
+    QueryPlan,
+    QueryPlanner,
+    resolve_planner_mode,
+)
 from repro.query.scatter import (
     join_count_from_histograms,
     join_side_probes,
+    join_upper_bound,
     merge_grouped_counts,
     merge_partial_answers,
+    ordered_join_probes,
     scatter_map,
 )
 from repro.util.mp import preferred_mp_context, usable_cpus
@@ -140,6 +147,7 @@ class WallClockStats:
     in-process executors, where no boundary exists.
     """
 
+    setup_calls: int = 0
     setup_seconds: float = 0.0
     update_calls: int = 0
     update_seconds: float = 0.0
@@ -156,6 +164,7 @@ class WallClockStats:
 
     def reset(self) -> None:
         """Zero all counters (benchmarks reset between phases)."""
+        self.setup_calls = 0
         self.setup_seconds = 0.0
         self.update_calls = 0
         self.update_seconds = 0.0
@@ -186,6 +195,14 @@ class ShardRouter:
         shard object crosses the process boundary exactly once; afterwards
         only commands and results travel the pipes).  Gathered answers and
         all transcripts are byte-identical across executors.
+    planner:
+        ``"off"`` (default) scatters every query to every shard exactly as
+        before; ``"on"`` routes queries through a
+        :class:`~repro.query.planner.QueryPlanner` (cost-based shard
+        pruning, executor choice, join probe ordering -- all
+        observable-identical, see :meth:`explain`).  A pre-built
+        :class:`~repro.query.planner.QueryPlanner` instance may be passed
+        directly (e.g. with a plan-override hook for tests).
     """
 
     def __init__(
@@ -193,12 +210,19 @@ class ShardRouter:
         shards: Sequence[EncryptedDatabase],
         route_seed: int = 0,
         executor: str = "threads",
+        planner: "str | QueryPlanner" = "off",
     ) -> None:
         shards = list(shards)
         if not shards:
             raise ValueError("a ShardRouter needs at least one shard")
         self._route_seed = int(route_seed)
         self._executor = resolve_shard_executor(executor)
+        if isinstance(planner, QueryPlanner):
+            self._planner: QueryPlanner | None = planner
+        elif resolve_planner_mode(planner) == "on":
+            self._planner = QueryPlanner()
+        else:
+            self._planner = None
         self._clients: list[ShardWorkerClient] = []
         if self._executor == "processes":
             context = preferred_mp_context()
@@ -215,6 +239,11 @@ class ShardRouter:
         self._client_marks = [client.stats() for client in self._clients]
         self._pool: ThreadPoolExecutor | None = None
         self._ordinals: dict[str, int] = {}
+        #: Partition metadata: per table, how many records were routed to
+        #: each shard.  Maintained coordinator-side during partitioning (no
+        #: extra shard round-trips), committed together with the staged
+        #: ordinals, and what the planner's shard pruning proves from.
+        self._table_shard_counts: dict[str, list[int]] = {}
         self._update_history: list[UpdateResult] = []
         self.measured = WallClockStats()
 
@@ -308,18 +337,25 @@ class ShardRouter:
         started = _time.perf_counter()
         try:
             if len(self._shards) == 1:
+                records = list(records)
                 result = self._shards[0].setup(records, time=time)
+                if self._planner is not None:
+                    self._tally_single_shard(self._group(records))
                 self._update_history.append(result)
                 return result
-            parts = self._partition(self._group(records))
+            parts, staged_ordinals, staged_counts = self._partition(
+                self._group(records)
+            )
             results = self._map(
                 lambda pair: pair[0].setup(
                     [r for rows in pair[1].values() for r in rows], time=time
                 ),
                 list(zip(self._shards, parts)),
             )
+            self._commit_routing(staged_ordinals, staged_counts)
             return self._aggregate(results, time)
         finally:
+            self.measured.setup_calls += 1
             self.measured.setup_seconds += _time.perf_counter() - started
             self._absorb_worker_stats()
 
@@ -328,11 +364,16 @@ class ShardRouter:
         started = _time.perf_counter()
         try:
             if len(self._shards) == 1:
+                records = list(records)
                 result = self._shards[0].update(records, time=time)
+                if self._planner is not None:
+                    self._tally_single_shard(self._group(records))
                 self._update_history.append(result)
                 return result
-            parts = self._partition(self._group(records))
-            return self._scatter_update(parts, time)
+            parts, staged_ordinals, staged_counts = self._partition(
+                self._group(records)
+            )
+            return self._scatter_update(parts, staged_ordinals, staged_counts, time)
         finally:
             self.measured.update_calls += 1
             self.measured.update_seconds += _time.perf_counter() - started
@@ -346,20 +387,34 @@ class ShardRouter:
         try:
             if len(self._shards) == 1:
                 result = self._shards[0].insert_many(batches, time=time)
+                if self._planner is not None:
+                    self._tally_single_shard(
+                        {t: list(rows) for t, rows in batches.items() if rows}
+                    )
                 self._update_history.append(result)
                 return result
             grouped = {table: list(rows) for table, rows in batches.items() if rows}
-            parts = self._partition(grouped)
-            return self._scatter_update(parts, time)
+            parts, staged_ordinals, staged_counts = self._partition(grouped)
+            return self._scatter_update(parts, staged_ordinals, staged_counts, time)
         finally:
             self.measured.update_calls += 1
             self.measured.update_seconds += _time.perf_counter() - started
             self._absorb_worker_stats()
 
     def query(self, query: Query, time: int = 0) -> QueryResult:
-        """Scatter the query to every shard and gather the partial aggregates."""
+        """Scatter the query to every shard and gather the partial aggregates.
+
+        With a planner configured, the scatter is *planned* first
+        (:mod:`repro.query.planner`): the target shard set, per-shard
+        executor and join probe order come from the chosen plan, and the
+        measured runtime feeds the planner's calibrator afterwards.  Every
+        plan choice yields the same gathered answer, QET observables and
+        transcripts as the fan-out path -- the plan-invariance tests pin it.
+        """
         started = _time.perf_counter()
         try:
+            if self._planner is not None:
+                return self._query_planned(query, time)
             if len(self._shards) == 1:
                 return self._shards[0].query(query, time=time)
             if not self.is_setup:
@@ -384,6 +439,96 @@ class ShardRouter:
             self.measured.query_calls += 1
             self.measured.query_seconds += _time.perf_counter() - started
             self._absorb_worker_stats()
+
+    # -- planner integration -------------------------------------------------
+
+    @property
+    def planner_mode(self) -> str:
+        """``"on"`` when queries run through a :class:`QueryPlanner`."""
+        return "off" if self._planner is None else "on"
+
+    @property
+    def planner(self) -> QueryPlanner | None:
+        """The configured planner (``None`` when the planner is off)."""
+        return self._planner
+
+    def explain(self, query: "Query | str") -> dict | None:
+        """Planner report for the most recent run of ``query``.
+
+        ``None`` when the planner is off or the query never ran; otherwise
+        the chosen plan, estimated vs measured cost, and why each
+        alternative lost (see :meth:`repro.query.planner.QueryPlanner.explain`).
+        """
+        if self._planner is None:
+            return None
+        return self._planner.explain(query)
+
+    def table_shard_counts(self, table: str) -> tuple[int, ...]:
+        """Routed-record count per shard for one table (partition metadata)."""
+        counts = self._table_shard_counts.get(table)
+        if counts is None:
+            return (0,) * len(self._shards)
+        return tuple(counts)
+
+    def _planner_shard_tables(self, query: Query) -> list[dict[str, int]]:
+        """Per-shard routed sizes of the query's tables, for plan costing."""
+        zeros = [0] * len(self._shards)
+        per_table = {
+            table: self._table_shard_counts.get(table, zeros)
+            for table in query.tables
+        }
+        return [
+            {table: counts[index] for table, counts in per_table.items()}
+            for index in range(len(self._shards))
+        ]
+
+    def _query_planned(self, query: Query, time: int) -> QueryResult:
+        if not self.is_setup:
+            raise RuntimeError("Query invoked before Setup")
+        if not self.supports(query):
+            raise UnsupportedQueryError(
+                f"{self.scheme_name} does not support {type(query).__name__}"
+            )
+        # Shards holding none of a query's records still answer on an L-DP
+        # back-end -- with a noise draw the gathered sum must include -- so
+        # pruning is only sound where answers are exact.
+        plan = self._planner.plan(
+            query,
+            shard_tables=self._planner_shard_tables(query),
+            cost_model=self.cost_model,
+            backend=self.scheme_name,
+            executors=self._shards[0].query_executors,
+            allow_pruning=self.leakage_profile.query_class is not LeakageClass.LDP,
+        )
+        started = _time.perf_counter()
+        result = self._execute_plan(query, plan, time)
+        self._planner.observe(plan, _time.perf_counter() - started)
+        return result
+
+    def _execute_plan(self, query: Query, plan: QueryPlan, time: int) -> QueryResult:
+        chosen = plan.chosen
+        if len(self._shards) == 1:
+            # One shard executes the original query directly (joins
+            # included); the only planner degree of freedom is the executor.
+            result = self._shards[0].query(query, time=time, executor=chosen.executor)
+            plan.executed_qet_seconds = (result.qet_seconds,)
+            return result
+        if isinstance(query, JoinCountQuery):
+            return self._gather_join(query, time, plan=plan)
+        results = self._map(
+            lambda index: self._shards[index].query(
+                query, time=time, executor=chosen.executor
+            ),
+            list(chosen.shard_indices),
+        )
+        plan.executed_qet_seconds = tuple(r.qet_seconds for r in results)
+        return QueryResult(
+            query_name=query.name,
+            answer=merge_partial_answers(query, [r.answer for r in results]),
+            qet_seconds=max(r.qet_seconds for r in results),
+            records_scanned=sum(r.records_scanned for r in results),
+            noise_injected=any(r.noise_injected for r in results),
+        )
 
     # -- observable state ----------------------------------------------------
 
@@ -472,20 +617,57 @@ class ShardRouter:
 
     def _partition(
         self, by_table: Mapping[str, Sequence[Record]]
-    ) -> list[dict[str, list[Record]]]:
-        """Split grouped records into per-shard groups, advancing ordinals."""
+    ) -> tuple[list[dict[str, list[Record]]], dict[str, int], dict[str, list[int]]]:
+        """Split grouped records into per-shard groups with *staged* routing.
+
+        Returns ``(parts, staged_ordinals, staged_counts)``.  Routing state
+        (``self._ordinals``, ``self._table_shard_counts``) is **not** mutated
+        here: the caller commits the staged values via :meth:`_commit_routing`
+        only after every touched shard succeeded.  A failed Setup/Update
+        (pre-Setup protocol error, a dead worker, any shard raise) therefore
+        leaves routing untouched, so a retry routes every record exactly like
+        a run that never failed -- the replay-determinism guarantee the
+        planner's correctness story leans on.
+        """
         parts: list[dict[str, list[Record]]] = [{} for _ in self._shards]
+        staged_ordinals: dict[str, int] = {}
+        staged_counts: dict[str, list[int]] = {}
         for table, rows in by_table.items():
             ordinal = self._ordinals.get(table, 0)
+            counts = [0] * len(self._shards)
             for record in rows:
                 index = self.shard_index(table, ordinal)
                 parts[index].setdefault(table, []).append(record)
+                counts[index] += 1
                 ordinal += 1
-            self._ordinals[table] = ordinal
-        return parts
+            staged_ordinals[table] = ordinal
+            staged_counts[table] = counts
+        return parts, staged_ordinals, staged_counts
+
+    def _commit_routing(
+        self, staged_ordinals: Mapping[str, int], staged_counts: Mapping[str, list[int]]
+    ) -> None:
+        """Fold staged routing state in, after the scatter succeeded."""
+        self._ordinals.update(staged_ordinals)
+        for table, counts in staged_counts.items():
+            totals = self._table_shard_counts.setdefault(
+                table, [0] * len(self._shards)
+            )
+            for index, count in enumerate(counts):
+                totals[index] += count
+
+    def _tally_single_shard(self, by_table: Mapping[str, Sequence[Record]]) -> None:
+        """Partition metadata for the K=1 fast paths (planner enabled only)."""
+        for table, rows in by_table.items():
+            totals = self._table_shard_counts.setdefault(table, [0])
+            totals[0] += len(rows)
 
     def _scatter_update(
-        self, parts: Sequence[Mapping[str, Sequence[Record]]], time: int
+        self,
+        parts: Sequence[Mapping[str, Sequence[Record]]],
+        staged_ordinals: Mapping[str, int],
+        staged_counts: Mapping[str, list[int]],
+        time: int,
     ) -> UpdateResult:
         touched = [index for index, part in enumerate(parts) if part]
         if not touched:
@@ -497,6 +679,7 @@ class ShardRouter:
                 lambda index: self._shards[index].insert_many(parts[index], time=time),
                 touched,
             )
+        self._commit_routing(staged_ordinals, staged_counts)
         return self._aggregate(results, time)
 
     def _aggregate(self, results: Sequence[UpdateResult], time: int) -> UpdateResult:
@@ -513,7 +696,9 @@ class ShardRouter:
         self._update_history.append(aggregate)
         return aggregate
 
-    def _gather_join(self, query: JoinCountQuery, time: int) -> QueryResult:
+    def _gather_join(
+        self, query: JoinCountQuery, time: int, plan: QueryPlan | None = None
+    ) -> QueryResult:
         """Distributed join count via per-side key histograms.
 
         Hash-partitioned sides cannot be joined shard-locally, so each shard
@@ -522,29 +707,54 @@ class ShardRouter:
         the exact join count.  Each shard runs its two probes sequentially;
         shards run in parallel, so the gathered QET is the slowest shard's
         probe total.
+
+        A plan chooses the shard set, per-probe executor and probe order
+        (predicted-smaller side first).  The dot product is symmetric and
+        per-shard QET sums both probes, so none of that moves an observable;
+        the first probe's merged cardinality is recorded on the plan as a
+        UES-style upper bound on the gathered join count.
         """
-        left_probe, right_probe = join_side_probes(query)
+        if plan is None:
+            targets: Sequence[int] = range(len(self._shards))
+            first_side = "left"
+            executor: str | None = None
+        else:
+            targets = plan.chosen.shard_indices
+            first_side = plan.chosen.first_side or "left"
+            executor = plan.chosen.executor
+        (first_probe, _), (second_probe, _) = ordered_join_probes(query, first_side)
         probe_pairs = self._map(
-            lambda shard: (
-                shard.query(left_probe, time=time),
-                shard.query(right_probe, time=time),
+            lambda index: (
+                self._shards[index].query(first_probe, time=time, executor=executor),
+                self._shards[index].query(second_probe, time=time, executor=executor),
             ),
-            self._shards,
+            list(targets),
         )
-        left_parts: list[Mapping] = []
-        right_parts: list[Mapping] = []
+        first_parts: list[Mapping] = []
+        second_parts: list[Mapping] = []
         shard_qets: list[float] = []
         scanned = 0
         noise = False
-        for left_result, right_result in probe_pairs:
-            left_parts.append(left_result.answer)
-            right_parts.append(right_result.answer)
-            shard_qets.append(left_result.qet_seconds + right_result.qet_seconds)
-            scanned += left_result.records_scanned + right_result.records_scanned
-            noise = noise or left_result.noise_injected or right_result.noise_injected
-        answer = join_count_from_histograms(
-            merge_grouped_counts(left_parts), merge_grouped_counts(right_parts)
-        )
+        for first_result, second_result in probe_pairs:
+            first_parts.append(first_result.answer)
+            second_parts.append(second_result.answer)
+            shard_qets.append(first_result.qet_seconds + second_result.qet_seconds)
+            scanned += first_result.records_scanned + second_result.records_scanned
+            noise = (
+                noise or first_result.noise_injected or second_result.noise_injected
+            )
+        merged_first = merge_grouped_counts(first_parts)
+        merged_second = merge_grouped_counts(second_parts)
+        answer = join_count_from_histograms(merged_first, merged_second)
+        if plan is not None:
+            second_table = (
+                query.right_table if first_side == "left" else query.left_table
+            )
+            plan.first_probe_cardinality = sum(merged_first.values())
+            plan.join_upper_bound = join_upper_bound(
+                merged_first, sum(self.table_shard_counts(second_table))
+            )
+            plan.executed_qet_seconds = tuple(shard_qets)
         return QueryResult(
             query_name=query.name,
             answer=answer,

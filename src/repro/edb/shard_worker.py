@@ -162,6 +162,7 @@ def _dispatch(shard: "EncryptedDatabase", command: str, args: tuple):
             "ciphertext_store": getattr(shard, "ciphertext_store", None),
             "cost_model": shard.cost_model,
             "leakage_profile": shard.leakage_profile,
+            "query_executors": getattr(shard, "query_executors", ("rows",)),
         }
     if command == "attr":
         (name,) = args
@@ -278,8 +279,16 @@ class ShardWorkerClient:
     ) -> "UpdateResult":
         return self._call("insert_many", dict(batches), time)
 
-    def query(self, query: "Query", time: int = 0) -> "QueryResult":
-        return self._call("query", query, time)
+    def query(
+        self, query: "Query", time: int = 0, executor: "str | None" = None
+    ) -> "QueryResult":
+        if executor is None:
+            return self._call("query", query, time)
+        return self._call("query", query, time, executor)
+
+    @property
+    def query_executors(self) -> tuple[str, ...]:
+        return tuple(self._info.get("query_executors", ("rows",)))
 
     def supports(self, query: "Query") -> bool:
         return self._call("supports", query)

@@ -108,6 +108,18 @@ class PlaintextExecutor:
         """Execute ``query`` and return the answer plus work counters."""
         return self.execute_plan(self._plan_for(query, rewrite))
 
+    def execute_rows_with_stats(
+        self, query: Query, rewrite: bool = False
+    ) -> tuple[Answer, ExecutionStats]:
+        """Execute ``query`` with the row-at-a-time interpreter.
+
+        On subclasses that override :meth:`execute_plan` with a vectorized
+        pass (the columnar executor), this forces the base interpreter over
+        the row mirror instead -- the planner's ``"rows"`` executor choice.
+        Answers and stats are identical either way; only wall clock moves.
+        """
+        return PlaintextExecutor.execute_plan(self, self._plan_for(query, rewrite))
+
     def execute_plan(self, plan: PlanNode) -> tuple[Answer, ExecutionStats]:
         """Interpret a plan; returns (answer, stats)."""
         stats = ExecutionStats()

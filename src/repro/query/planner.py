@@ -1,0 +1,443 @@
+"""Cost-based planning of scatter-gather queries over sharded back-ends.
+
+The scatter layer (:mod:`repro.query.scatter`,
+:class:`repro.edb.router.ShardRouter`) executes every query one way: fan out
+to all K shards, merge.  This module adds a :class:`QueryPlanner` that, per
+query, enumerates *observable-identical* alternatives and picks the cheapest:
+
+* **shard pruning** -- the router's partition metadata (per-table routed
+  record counts, a pure function of the replay-deterministic routing hash)
+  proves which shards can hold records of the query's tables; shards holding
+  none would answer ``0`` / ``{}`` with a floor QET of ``query_base``, so
+  skipping them changes no gathered observable on exact back-ends.  Pruning
+  is disabled on L-DP back-ends, where even an empty shard's answer carries
+  a noise draw the gathered sum must include;
+* **executor choice** -- columnar vs row-interpreter execution per shard
+  (:meth:`~repro.edb.base.EncryptedDatabase.query_executors`), bit-identical
+  in answers and work counters by the fast-path differential contract;
+* **join probe ordering** -- probe the predicted-smaller side first and
+  reuse its merged histogram cardinality for a UES-style upper bound on the
+  second probe's contribution (:func:`repro.query.scatter.join_upper_bound`).
+  The dot product is symmetric and per-shard QET sums both probes, so order
+  never changes an observable.
+
+Each alternative is costed with the scheme's :class:`~repro.edb.cost_model.
+CostModel` (total simulated work across the shards it touches), then the
+estimate is corrected by a :class:`RuntimeCalibrator` -- a per-(query shape,
+backend, executor) runtime regressor fit online from the router's *measured*
+wall-clock ledger (:class:`~repro.edb.router.WallClockStats`), the BAO-style
+learned-runtime loop of ROADMAP item 1.  Because every alternative yields
+identical answers, QET observables and transcripts, the calibrator is free
+to change its mind between runs without perturbing a single experiment
+artifact -- the property the plan-invariance tests pin.
+
+:meth:`QueryPlanner.explain` reports, per query, the chosen plan, estimated
+vs measured cost, and why each alternative lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+from repro.query.ast import JoinCountQuery, Query
+from repro.query.scatter import join_side_probes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.edb.cost_model import CostModel
+
+__all__ = [
+    "PLANNER_MODES",
+    "PlanAlternative",
+    "QueryPlan",
+    "QueryPlanner",
+    "RuntimeCalibrator",
+    "resolve_planner_mode",
+]
+
+#: Planner modes on the simulation axis: ``"off"`` keeps the historical
+#: always-fan-out behaviour (golden traces byte-identical), ``"on"`` routes
+#: queries through a :class:`QueryPlanner`.
+PLANNER_MODES = ("off", "on")
+
+
+def resolve_planner_mode(mode: str) -> str:
+    """Validate (and normalize) a planner-mode flag."""
+    normalized = mode.lower()
+    if normalized not in PLANNER_MODES:
+        raise ValueError(
+            f"planner mode must be one of {PLANNER_MODES}, got {mode!r}"
+        )
+    return normalized
+
+
+def query_shape(query: Query) -> str:
+    """Coarse query shape used as a calibration key component."""
+    if isinstance(query, JoinCountQuery):
+        return "join-count"
+    kind = getattr(query, "kind", None)
+    return getattr(kind, "value", None) or type(query).__name__.lower()
+
+
+@dataclass(frozen=True)
+class PlanAlternative:
+    """One concrete, observable-identical way to execute a scattered query."""
+
+    #: Stable label, e.g. ``"fanout/columnar"`` or ``"prune/rows"``.
+    key: str
+    #: Shards the plan touches, in shard-index order (merge order).
+    shard_indices: tuple[int, ...]
+    #: Per-shard execution strategy (one of the shards' ``query_executors``).
+    executor: str
+    #: For joins: which side's probe runs first (``"left"``/``"right"``).
+    first_side: str | None
+    #: Total simulated QET across the touched shards (the cost-model score).
+    simulated_work_seconds: float
+    #: Calibrated wall-clock prediction for this alternative.
+    predicted_seconds: float
+    #: Whether a learned runtime ratio backed the prediction (False means
+    #: the raw cost-model work was used as the prediction).
+    calibrated: bool
+
+
+@dataclass
+class QueryPlan:
+    """The planner's decision record for one query invocation."""
+
+    query_name: str
+    shape: str
+    backend: str
+    n_shards: int
+    alternatives: tuple[PlanAlternative, ...]
+    chosen: PlanAlternative
+    reason: str
+    calibration_key: tuple[str, str, str]
+    forced: bool = False
+    #: Filled in after execution by :meth:`QueryPlanner.observe`.
+    measured_seconds: float | None = None
+    #: Per-touched-shard simulated QETs actually executed (shard order).
+    executed_qet_seconds: tuple[float, ...] = ()
+    #: For joins: merged-histogram cardinality of the first probe and the
+    #: UES-style bound it implies for the gathered join count.
+    first_probe_cardinality: "int | float | None" = None
+    join_upper_bound: "int | float | None" = None
+
+    def explain(self) -> dict:
+        """A JSON-friendly report: chosen plan, costs, why alternatives lost."""
+        chosen = self.chosen
+
+        def _alt(alt: PlanAlternative) -> dict:
+            entry = {
+                "plan": alt.key,
+                "shards": list(alt.shard_indices),
+                "executor": alt.executor,
+                "simulated_work_seconds": alt.simulated_work_seconds,
+                "predicted_seconds": alt.predicted_seconds,
+                "calibrated": alt.calibrated,
+                "chosen": alt is chosen,
+            }
+            if alt.first_side is not None:
+                entry["first_side"] = alt.first_side
+            if alt is chosen:
+                entry["why"] = self.reason
+            else:
+                entry["why_lost"] = self._why_lost(alt)
+            return entry
+
+        report = {
+            "query": self.query_name,
+            "shape": self.shape,
+            "backend": self.backend,
+            "n_shards": self.n_shards,
+            "chosen": chosen.key,
+            "forced": self.forced,
+            "reason": self.reason,
+            "estimated_seconds": chosen.predicted_seconds,
+            "measured_seconds": self.measured_seconds,
+            "simulated_work_seconds": chosen.simulated_work_seconds,
+            "executed_work_seconds": sum(self.executed_qet_seconds),
+            "calibration_key": list(self.calibration_key),
+            "alternatives": [_alt(alt) for alt in self.alternatives],
+        }
+        if self.first_probe_cardinality is not None:
+            report["first_probe_cardinality"] = self.first_probe_cardinality
+            report["join_upper_bound"] = self.join_upper_bound
+        return report
+
+    def _why_lost(self, alt: PlanAlternative) -> str:
+        chosen = self.chosen
+        if self.forced:
+            return f"override forced {chosen.key}"
+        if alt.predicted_seconds > chosen.predicted_seconds:
+            return (
+                f"predicted {alt.predicted_seconds:.3g}s vs "
+                f"{chosen.predicted_seconds:.3g}s for {chosen.key}"
+            )
+        if alt.simulated_work_seconds > chosen.simulated_work_seconds:
+            return (
+                f"simulated work {alt.simulated_work_seconds:.3g}s vs "
+                f"{chosen.simulated_work_seconds:.3g}s for {chosen.key}"
+            )
+        return f"tied with {chosen.key}; earlier-enumerated plan wins ties"
+
+
+class RuntimeCalibrator:
+    """Online per-(shape, backend, executor) runtime regressor.
+
+    Cost-model scores are hardware-independent simulated seconds; measured
+    wall clock is not.  The calibrator learns, per calibration key, the ratio
+    between the two (``sum(measured) / sum(simulated work)`` -- a one-weight
+    least-squares fit through the origin) and predicts runtime as
+    ``ratio * work``.  Keys with fewer than :attr:`min_samples` observations
+    fall back to the ratio pooled across all keys, then to the raw work --
+    so cold-start predictions degrade gracefully to pure cost-model order,
+    which is already correct for same-key comparisons like fan-out vs prune.
+    """
+
+    def __init__(self, min_samples: int = 2) -> None:
+        self.min_samples = int(min_samples)
+        self._per_key: dict[tuple[str, str, str], list[float]] = {}
+        self._global = [0.0, 0.0, 0]  # [work, seconds, samples]
+
+    def observe(
+        self, key: tuple[str, str, str], work_seconds: float, measured_seconds: float
+    ) -> None:
+        """Fold one (simulated work, measured runtime) sample into the fit."""
+        if work_seconds <= 0.0 or measured_seconds < 0.0:
+            return
+        entry = self._per_key.setdefault(key, [0.0, 0.0, 0])
+        entry[0] += work_seconds
+        entry[1] += measured_seconds
+        entry[2] += 1
+        self._global[0] += work_seconds
+        self._global[1] += measured_seconds
+        self._global[2] += 1
+
+    def samples(self, key: tuple[str, str, str]) -> int:
+        """Observations recorded for ``key``."""
+        entry = self._per_key.get(key)
+        return entry[2] if entry else 0
+
+    def ratio(self, key: tuple[str, str, str]) -> float | None:
+        """The learned seconds-per-simulated-second ratio for ``key``."""
+        entry = self._per_key.get(key)
+        if entry and entry[2] >= self.min_samples and entry[0] > 0.0:
+            return entry[1] / entry[0]
+        return None
+
+    def predict(
+        self, key: tuple[str, str, str], work_seconds: float
+    ) -> tuple[float, bool]:
+        """Predicted runtime for ``work_seconds`` of simulated work.
+
+        Returns ``(seconds, calibrated)``; ``calibrated`` is False when no
+        learned ratio (key-specific or pooled) backed the prediction.
+        """
+        ratio = self.ratio(key)
+        if ratio is not None:
+            return work_seconds * ratio, True
+        if self._global[2] >= self.min_samples and self._global[0] > 0.0:
+            return work_seconds * (self._global[1] / self._global[0]), True
+        return work_seconds, False
+
+
+#: Plan-override hook: receives the query and the enumerated alternatives,
+#: returns the alternative to force (or its index or key), or ``None`` to
+#: keep the planner's own choice.  Exists for the plan-invariance tests.
+PlanOverride = Callable[[Query, Sequence[PlanAlternative]], "PlanAlternative | int | str | None"]
+
+
+class QueryPlanner:
+    """Enumerate, cost, calibrate and pick scatter plans; remember why.
+
+    One planner instance lives on one :class:`~repro.edb.router.ShardRouter`
+    and sees that router's queries; the router feeds measured runtimes back
+    through :meth:`observe` after each gathered query.
+    """
+
+    def __init__(
+        self,
+        calibrator: RuntimeCalibrator | None = None,
+        override: PlanOverride | None = None,
+    ) -> None:
+        self.calibrator = calibrator if calibrator is not None else RuntimeCalibrator()
+        self.override = override
+        self._plans: dict[str, QueryPlan] = {}
+
+    # -- planning -------------------------------------------------------------
+
+    def plan(
+        self,
+        query: Query,
+        *,
+        shard_tables: Sequence[Mapping[str, int]],
+        cost_model: "CostModel",
+        backend: str,
+        executors: Sequence[str],
+        allow_pruning: bool,
+    ) -> QueryPlan:
+        """Choose how to execute ``query`` over the sharded deployment.
+
+        ``shard_tables[i]`` maps each of the query's tables to the number of
+        records routed to shard ``i`` (the router's partition metadata);
+        ``executors`` are the shards' supported execution strategies, default
+        first; ``allow_pruning`` is False on noisy back-ends.
+        """
+        n_shards = len(shard_tables)
+        full = tuple(range(n_shards))
+        shard_sets: list[tuple[str, tuple[int, ...]]] = [("fanout", full)]
+        if allow_pruning and n_shards > 1:
+            holding = tuple(
+                index
+                for index, sizes in enumerate(shard_tables)
+                if any(sizes.get(table, 0) for table in query.tables)
+            )
+            if holding != full:
+                # No shard holds the table(s): mirror the empty-update
+                # convention and keep shard 0 as the single round-trip.
+                shard_sets.append(("prune", holding or (0,)))
+
+        first_sides: tuple[str | None, ...] = (None,)
+        if isinstance(query, JoinCountQuery):
+            first_sides = self._probe_orders(query, shard_tables)
+
+        shape = query_shape(query)
+        alternatives: list[PlanAlternative] = []
+        for set_name, indices in shard_sets:
+            works = self._work(query, indices, shard_tables, cost_model)
+            for executor in executors:
+                key = (shape, backend, executor)
+                for first_side in first_sides:
+                    label = f"{set_name}/{executor}"
+                    if first_side is not None:
+                        label += f"/{first_side}-first"
+                    predicted, calibrated = self.calibrator.predict(key, works)
+                    alternatives.append(
+                        PlanAlternative(
+                            key=label,
+                            shard_indices=indices,
+                            executor=executor,
+                            first_side=first_side,
+                            simulated_work_seconds=works,
+                            predicted_seconds=predicted,
+                            calibrated=calibrated,
+                        )
+                    )
+
+        chosen, reason, forced = self._choose(query, alternatives)
+        plan = QueryPlan(
+            query_name=query.name,
+            shape=shape,
+            backend=backend,
+            n_shards=n_shards,
+            alternatives=tuple(alternatives),
+            chosen=chosen,
+            reason=reason,
+            calibration_key=(shape, backend, chosen.executor),
+            forced=forced,
+        )
+        self._plans[query.name] = plan
+        return plan
+
+    def _work(
+        self,
+        query: Query,
+        indices: Sequence[int],
+        shard_tables: Sequence[Mapping[str, int]],
+        cost_model: "CostModel",
+    ) -> float:
+        """Total simulated QET the cost model charges across ``indices``.
+
+        Joins are charged as their two scattered group-by probes -- what the
+        shards actually execute -- not the quadratic single-machine join.
+        """
+        if isinstance(query, JoinCountQuery):
+            probes = join_side_probes(query)
+            return sum(
+                cost_model.query_cost(probe, dict(shard_tables[index]))
+                for index in indices
+                for probe in probes
+            )
+        return sum(
+            cost_model.query_cost(query, dict(shard_tables[index]))
+            for index in indices
+        )
+
+    def _probe_orders(
+        self, query: JoinCountQuery, shard_tables: Sequence[Mapping[str, int]]
+    ) -> tuple[str, ...]:
+        """Probe-order alternatives, predicted-smaller side first.
+
+        Both orders execute identical work, so the cost model cannot split
+        them; the smaller-side-first order is enumerated first and wins the
+        tie, maximizing how early the UES-style cardinality bound binds.
+        """
+        left_total = sum(sizes.get(query.left_table, 0) for sizes in shard_tables)
+        right_total = sum(sizes.get(query.right_table, 0) for sizes in shard_tables)
+        if right_total < left_total:
+            return ("right", "left")
+        return ("left", "right")
+
+    def _choose(
+        self, query: Query, alternatives: Sequence[PlanAlternative]
+    ) -> tuple[PlanAlternative, str, bool]:
+        if self.override is not None:
+            forced = self.override(query, alternatives)
+            if forced is not None:
+                if isinstance(forced, int):
+                    forced = alternatives[forced]
+                elif isinstance(forced, str):
+                    matches = [alt for alt in alternatives if alt.key == forced]
+                    if not matches:
+                        raise KeyError(
+                            f"override named unknown plan {forced!r}; "
+                            f"have {[alt.key for alt in alternatives]}"
+                        )
+                    forced = matches[0]
+                return forced, f"forced by override hook ({forced.key})", True
+        best = min(
+            range(len(alternatives)),
+            key=lambda i: (
+                alternatives[i].predicted_seconds,
+                alternatives[i].simulated_work_seconds,
+                i,
+            ),
+        )
+        chosen = alternatives[best]
+        basis = "calibrated runtime" if chosen.calibrated else "cost-model work"
+        reason = (
+            f"lowest {basis} ({chosen.predicted_seconds:.3g}s) over "
+            f"{len(alternatives)} alternatives"
+        )
+        return chosen, reason, False
+
+    # -- measured feedback and observability ----------------------------------
+
+    def observe(self, plan: QueryPlan, measured_seconds: float) -> None:
+        """Feed one executed plan's measured runtime back into the regressor."""
+        plan.measured_seconds = measured_seconds
+        self.calibrator.observe(
+            plan.calibration_key, plan.chosen.simulated_work_seconds, measured_seconds
+        )
+
+    def last_plan(self, query: "Query | str") -> QueryPlan | None:
+        """The most recent plan chosen for ``query`` (by query name)."""
+        name = query if isinstance(query, str) else query.name
+        return self._plans.get(name)
+
+    def explain(self, query: "Query | str") -> dict | None:
+        """Explain the most recent plan for ``query`` (None if never planned).
+
+        The report carries the chosen plan, its estimated vs measured cost,
+        every alternative with why it lost, and the calibration state backing
+        the prediction.
+        """
+        plan = self.last_plan(query)
+        if plan is None:
+            return None
+        report = plan.explain()
+        report["calibration"] = {
+            "samples": self.calibrator.samples(plan.calibration_key),
+            "ratio": self.calibrator.ratio(plan.calibration_key),
+        }
+        return report

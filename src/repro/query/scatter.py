@@ -44,6 +44,8 @@ __all__ = [
     "merge_partial_answers",
     "join_count_from_histograms",
     "join_side_probes",
+    "join_upper_bound",
+    "ordered_join_probes",
     "scatter_map",
 ]
 
@@ -113,17 +115,19 @@ def merge_partial_answers(query: Query, parts: Sequence) -> "int | float | dict"
     return merge_scalar_counts(parts)
 
 
-def join_count_from_histograms(left: Mapping, right: Mapping) -> int:
+def join_count_from_histograms(left: Mapping, right: Mapping) -> "int | float":
     """Join count from global per-side key histograms: ``sum_k L[k] * R[k]``.
 
     Iterating the smaller histogram keeps the merge ``O(min(|L|, |R|))``
     regardless of how many shards contributed.
+
+    Exact back-ends contribute integral histograms and get an ``int`` back;
+    a histogram carrying unrounded DP noise yields a ``float`` -- truncating
+    it would silently bias the gathered count toward zero.
     """
     if len(right) < len(left):
         left, right = right, left
-    return int(
-        sum(count * right[key] for key, count in left.items() if key in right)
-    )
+    return sum(count * right[key] for key, count in left.items() if key in right)
 
 
 def join_side_probes(query: JoinCountQuery) -> tuple[GroupByCountQuery, GroupByCountQuery]:
@@ -147,3 +151,39 @@ def join_side_probes(query: JoinCountQuery) -> tuple[GroupByCountQuery, GroupByC
         label=f"{query.name}/scatter-right",
     )
     return left, right
+
+
+def ordered_join_probes(
+    query: JoinCountQuery, first_side: str = "left"
+) -> tuple[tuple[GroupByCountQuery, str], tuple[GroupByCountQuery, str]]:
+    """The join's side probes in a chosen execution order.
+
+    ``first_side`` names the side to probe first (``"left"`` or ``"right"``,
+    e.g. the planner's predicted-smaller side).  Each element pairs the probe
+    with its side label so the gather step can put the merged histograms back
+    on the correct sides of the dot product.  Because the dot product is
+    symmetric and per-shard QET sums both probes, probe order is invisible in
+    every observable.
+    """
+    if first_side not in ("left", "right"):
+        raise ValueError(f"first_side must be 'left' or 'right', got {first_side!r}")
+    left, right = join_side_probes(query)
+    if first_side == "left":
+        return (left, "left"), (right, "right")
+    return (right, "right"), (left, "left")
+
+
+def join_upper_bound(
+    first_histogram: Mapping, second_side_total: int
+) -> "int | float":
+    """UES-style upper bound on a join count from the first probe's histogram.
+
+    Every joining pair consumes one record from the first side's filtered
+    multiset (cardinality ``sum(first_histogram.values())``) and one of at
+    most ``second_side_total`` records on the other side, so the join count
+    is at most their product.  The planner records this after the first
+    probe's merge to bound (and sanity-check) the second probe's
+    contribution; it never changes what executes.
+    """
+    cardinality = sum(first_histogram.values())
+    return cardinality * second_side_total

@@ -55,6 +55,7 @@ from repro.edb.base import EncryptedDatabase
 from repro.edb.crypte import CryptEpsilon
 from repro.edb.oblidb import ObliDB
 from repro.edb.router import ShardRouter, resolve_shard_executor
+from repro.query.planner import resolve_planner_mode
 from repro.query.ast import JoinCountQuery, Query
 from repro.simulation.results import RunResult
 from repro.simulation.simulator import Simulation, SimulationConfig, derive_schema
@@ -133,6 +134,7 @@ def make_sharded_backend(
     simulate_encryption: bool = False,
     ciphertext_store: str | None = None,
     shard_executor: str = "threads",
+    planner: str = "off",
 ) -> Callable[[], ShardRouter]:
     """A factory for a :class:`~repro.edb.router.ShardRouter` over ``n_shards``
     independent back-end instances.
@@ -144,7 +146,9 @@ def make_sharded_backend(
     ``shard_executor`` selects the fan-out executor (``"threads"`` runs
     per-shard protocol work concurrently, ``"serial"`` sequentially,
     ``"processes"`` in persistent per-shard worker processes; results are
-    byte-identical in every case).
+    byte-identical in every case).  ``planner="on"`` routes queries through
+    the cost-based scatter planner (:mod:`repro.query.planner`) -- again
+    byte-identical in every observable, only wall clock moves.
     """
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
@@ -169,7 +173,9 @@ def make_sharded_backend(
                     ciphertext_store=ciphertext_store,
                 )()
             )
-        return ShardRouter(shards, route_seed=seed, executor=shard_executor)
+        return ShardRouter(
+            shards, route_seed=seed, executor=shard_executor, planner=planner
+        )
 
     return build
 
@@ -202,7 +208,11 @@ class CellSpec:
     (``"threads"`` scatters Setup/Update/Query across the shards
     concurrently; ``"serial"`` keeps the sequential loop; ``"processes"``
     moves each shard into a persistent worker process -- cell results are
-    byte-identical in every case, only wall clock moves), and
+    byte-identical in every case, only wall clock moves),
+    ``planner`` turns the cost-based scatter planner on for sharded cells
+    (``"off"`` by default -- today's always-fan-out behaviour; ``"on"``
+    enables observable-identical shard pruning / executor choice / join
+    probe ordering, see :mod:`repro.query.planner`), and
     ``simulate_encryption`` runs every outsourced record through the real
     record cipher (into a contiguous ciphertext arena in fast mode, the
     per-record object store in reference mode).
@@ -230,6 +240,7 @@ class CellSpec:
     n_shards: int = 1
     fleet_scenario: str = ""
     shard_executor: str = "threads"
+    planner: str = "off"
     simulate_encryption: bool = False
     scenario_kwargs: tuple[tuple[str, float], ...] = ()
     cell_id: str = ""
@@ -240,6 +251,7 @@ class CellSpec:
         object.__setattr__(
             self, "shard_executor", resolve_shard_executor(self.shard_executor)
         )
+        object.__setattr__(self, "planner", resolve_planner_mode(self.planner))
         if self.queries is not None:
             object.__setattr__(self, "queries", tuple(self.queries))
         object.__setattr__(
@@ -372,7 +384,11 @@ def run_cell(spec: CellSpec) -> RunResult:
         horizon=spec.horizon,
         seed=spec.sim_seed,
     )
-    if spec.n_shards > 1:
+    if spec.n_shards > 1 or spec.planner == "on":
+        # A planner-on cell always runs through a router (a one-shard router
+        # is byte-identical to the plain back-end, so K=1 planner cells stay
+        # comparable to their unsharded twins while exercising the planner's
+        # executor choice).
         edb_factory: Callable[[], EncryptedDatabase] = make_sharded_backend(
             spec.backend,
             spec.n_shards,
@@ -381,6 +397,7 @@ def run_cell(spec: CellSpec) -> RunResult:
             mode=spec.edb_mode,
             simulate_encryption=spec.simulate_encryption,
             shard_executor=spec.shard_executor,
+            planner=spec.planner,
         )
     else:
         edb_factory = make_backend(
@@ -425,6 +442,7 @@ _AXIS_FIELDS = frozenset(
         "n_owners",
         "n_shards",
         "fleet_scenario",
+        "planner",
     }
 )
 
@@ -866,6 +884,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "results are byte-identical in every case",
     )
     parser.add_argument(
+        "--planner",
+        default="off",
+        choices=["off", "on"],
+        help="cost-based scatter planner for sharded cells: shard pruning, "
+        "per-shard executor choice and join probe ordering, calibrated by "
+        "the measured ledger; cell results are byte-identical either way",
+    )
+    parser.add_argument(
         "--simulate-encryption",
         action="store_true",
         help="run every outsourced record through the real record cipher "
@@ -891,6 +917,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             n_shards=args.n_shards,
             fleet_scenario=args.fleet_scenario,
             shard_executor=args.shard_executor,
+            planner=args.planner,
             simulate_encryption=args.simulate_encryption,
         ),
         base_seed=args.seed,

@@ -1,0 +1,440 @@
+"""Cost-based scatter planner: plan choice, calibration, and invariance.
+
+The planner's contract, pinned here:
+
+* **Plan invariance** -- every plan alternative (full fan-out, shard
+  pruning, either per-shard executor, either join probe order) yields a
+  gathered :class:`~repro.edb.base.QueryResult` and aggregate + per-shard
+  transcripts byte-identical to the ``planner="off"`` path, for K in
+  {1, 2, 4} on both back-ends (Hypothesis property, forced via the
+  plan-override hook).
+* **Pruning is metadata-driven and leakage-gated** -- the router's routed
+  per-shard counts prove which shards can hold a table; pruning is only
+  enumerated on exact back-ends (never on L-DP Crypt-epsilon, whose empty
+  shards still contribute noise draws).
+* **The measured-feedback loop** -- the calibrator learns a per-(shape,
+  backend, executor) runtime ratio from observed plans and corrects
+  predictions, with graceful cold-start fallbacks.
+* **Join probe ordering** -- the predicted-smaller side probes first and
+  its merged histogram cardinality yields a UES-style upper bound on the
+  gathered join count.
+* Satellite bugfixes: :func:`join_count_from_histograms` no longer
+  truncates noisy histograms through ``int()``, and
+  :class:`~repro.edb.router.WallClockStats` counts Setup attempts on the
+  same basis as every other protocol surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edb.crypte import CryptEpsilon
+from repro.edb.leakage import update_pattern_observables
+from repro.edb.oblidb import ObliDB
+from repro.edb.records import Record, Schema, make_dummy_record
+from repro.edb.router import ShardRouter
+from repro.fleet.deployment import Deployment
+from repro.query.ast import CountQuery, GroupByCountQuery, JoinCountQuery
+from repro.query.planner import (
+    PLANNER_MODES,
+    QueryPlanner,
+    RuntimeCalibrator,
+    resolve_planner_mode,
+)
+from repro.query.predicates import RangePredicate, TruePredicate
+from repro.query.scatter import (
+    join_count_from_histograms,
+    join_upper_bound,
+    ordered_join_probes,
+)
+
+TABLES = ("Alpha", "Beta")
+SCHEMAS = {name: Schema(name=name, attributes=("key", "value")) for name in TABLES}
+
+
+def _record(table: str, key: int, value: int, dummy: bool, time: int) -> Record:
+    if dummy:
+        return make_dummy_record(SCHEMAS[table], arrival_time=time)
+    return Record(values={"key": key, "value": value}, arrival_time=time, table=table)
+
+
+def _shards(n: int, cls=ObliDB, seed: int = 0):
+    return [cls(rng=np.random.default_rng(seed + index)) for index in range(n)]
+
+
+def _queries(include_join: bool = True):
+    queries = [
+        CountQuery(
+            table="Alpha", predicate=RangePredicate("value", 0, 20), label="q-count"
+        ),
+        GroupByCountQuery(
+            table="Beta",
+            group_attribute="key",
+            predicate=TruePredicate(),
+            label="q-group",
+        ),
+    ]
+    if include_join:
+        queries.append(
+            JoinCountQuery(
+                left_table="Alpha",
+                right_table="Beta",
+                left_attribute="key",
+                right_attribute="key",
+                label="q-join",
+            )
+        )
+    return queries
+
+
+# ---------------------------------------------------------------------------
+# Mode + calibrator units
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_planner_mode():
+    assert resolve_planner_mode("ON") == "on"
+    assert resolve_planner_mode("off") == "off"
+    assert PLANNER_MODES == ("off", "on")
+    with pytest.raises(ValueError, match="planner mode"):
+        resolve_planner_mode("auto")
+
+
+def test_calibrator_learns_per_key_ratio():
+    cal = RuntimeCalibrator(min_samples=2)
+    key = ("count", "ObliDB", "columnar")
+    assert cal.predict(key, 2.0) == (2.0, False)  # cold start: raw work
+    cal.observe(key, 1.0, 3.0)
+    cal.observe(key, 1.0, 3.0)
+    assert cal.ratio(key) == pytest.approx(3.0)
+    predicted, calibrated = cal.predict(key, 2.0)
+    assert calibrated and predicted == pytest.approx(6.0)
+    assert cal.samples(key) == 2
+
+
+def test_calibrator_global_fallback_and_guards():
+    cal = RuntimeCalibrator(min_samples=2)
+    seen = ("group-by", "ObliDB", "columnar")
+    other = ("count", "ObliDB", "rows")
+    cal.observe(seen, 2.0, 1.0)
+    cal.observe(seen, 2.0, 1.0)
+    # Unknown key borrows the pooled ratio (0.5) rather than staying raw.
+    predicted, calibrated = cal.predict(other, 4.0)
+    assert calibrated and predicted == pytest.approx(2.0)
+    # Degenerate samples are dropped, not folded in.
+    cal.observe(other, 0.0, 1.0)
+    cal.observe(other, 1.0, -1.0)
+    assert cal.samples(other) == 0
+
+
+# ---------------------------------------------------------------------------
+# Plan choice
+# ---------------------------------------------------------------------------
+
+
+def _single_partition_router(K: int = 4, planner="on") -> ShardRouter:
+    """Alpha spread over all shards, Beta routed to a strict subset."""
+    router = ShardRouter(
+        _shards(K), route_seed=3, executor="serial", planner=planner
+    )
+    router.setup(
+        [_record("Alpha", i % 7, i % 40, False, 0) for i in range(60)]
+        + [_record("Beta", i % 3, i, False, 0) for i in range(2)],
+        time=0,
+    )
+    return router
+
+
+def test_planner_prunes_single_partition_table():
+    router = _single_partition_router()
+    counts = router.table_shard_counts("Beta")
+    holding = tuple(i for i, c in enumerate(counts) if c)
+    assert 0 < len(holding) < router.n_shards, counts
+    query = GroupByCountQuery(
+        table="Beta", group_attribute="key", predicate=TruePredicate(), label="qB"
+    )
+    result = router.query(query, time=1)
+    plan = router.planner.last_plan(query)
+    assert plan.chosen.key.startswith("prune/")
+    assert plan.chosen.shard_indices == holding
+    assert len(plan.executed_qet_seconds) == len(holding)
+    # The pruned plan executed strictly less total simulated work than the
+    # fan-out alternative, yet the gathered QET observable is the fan-out max.
+    fanout = [a for a in plan.alternatives if a.key.startswith("fanout/")][0]
+    assert plan.chosen.simulated_work_seconds < fanout.simulated_work_seconds
+    off = _single_partition_router(planner="off")
+    assert off.query(query, time=1) == result
+
+
+def test_planner_prunes_to_shard_zero_for_unknown_table():
+    router = _single_partition_router()
+    query = CountQuery(table="Gamma", predicate=TruePredicate(), label="qG")
+    result = router.query(query, time=1)
+    plan = router.planner.last_plan(query)
+    assert plan.chosen.shard_indices == (0,)
+    assert result.answer == 0
+
+
+def test_planner_never_prunes_on_ldp_backend():
+    router = ShardRouter(
+        _shards(4, CryptEpsilon), route_seed=3, executor="serial", planner="on"
+    )
+    router.setup([_record("Beta", i % 3, i, False, 0) for i in range(4)], time=0)
+    query = GroupByCountQuery(
+        table="Beta", group_attribute="key", predicate=TruePredicate(), label="qB"
+    )
+    router.query(query, time=1)
+    plan = router.planner.last_plan(query)
+    assert all(alt.key.startswith("fanout/") for alt in plan.alternatives)
+    assert plan.chosen.shard_indices == tuple(range(4))
+
+
+def test_join_probes_smaller_side_first_with_bound():
+    router = _single_partition_router()
+    join = JoinCountQuery(
+        left_table="Alpha",
+        right_table="Beta",
+        left_attribute="key",
+        right_attribute="key",
+        label="qJ",
+    )
+    result = router.query(join, time=1)
+    plan = router.planner.last_plan(join)
+    # Beta is the smaller side, so its probe runs first...
+    assert plan.chosen.first_side == "right"
+    # ...and its merged cardinality bounds the gathered join count.
+    assert plan.first_probe_cardinality == 2
+    assert result.answer <= plan.join_upper_bound
+    router.close()
+
+
+def test_query_executor_surfaces_by_mode():
+    fast = ObliDB(rng=np.random.default_rng(0))
+    reference = ObliDB(rng=np.random.default_rng(0), mode="reference")
+    assert fast.query_executors == ("columnar", "rows")
+    assert reference.query_executors == ("rows",)
+    fast.setup([_record("Alpha", i % 5, i, False, 0) for i in range(20)])
+    query = CountQuery(
+        table="Alpha", predicate=RangePredicate("value", 0, 10), label="q"
+    )
+    assert fast.query(query, time=1) == fast.query(query, time=1, executor="rows")
+    assert fast.query(query, time=1) == fast.query(query, time=1, executor="columnar")
+    with pytest.raises(ValueError, match="query executor"):
+        fast.query(query, time=1, executor="gpu")
+
+
+def test_override_hook_forcing_and_unknown_key():
+    forced_keys = []
+
+    def force_rows(query, alternatives):
+        for alt in alternatives:
+            if alt.executor == "rows":
+                forced_keys.append(alt.key)
+                return alt.key
+        return None
+
+    router = ShardRouter(
+        _shards(2),
+        route_seed=1,
+        executor="serial",
+        planner=QueryPlanner(override=force_rows),
+    )
+    router.setup([_record("Alpha", i % 5, i, False, 0) for i in range(12)], time=0)
+    query = CountQuery(table="Alpha", predicate=TruePredicate(), label="q")
+    router.query(query, time=1)
+    plan = router.planner.last_plan(query)
+    assert plan.forced and plan.chosen.executor == "rows"
+    assert forced_keys and plan.chosen.key == forced_keys[-1]
+
+    router.planner.override = lambda q, alts: "no-such-plan"
+    with pytest.raises(KeyError, match="no-such-plan"):
+        router.query(query, time=2)
+
+
+def test_explain_reports_costs_and_losers():
+    router = _single_partition_router()
+    query = GroupByCountQuery(
+        table="Beta", group_attribute="key", predicate=TruePredicate(), label="qB"
+    )
+    assert router.explain(query) is None  # never planned yet
+    router.query(query, time=1)
+    report = router.explain(query)
+    assert report["chosen"].startswith("prune/")
+    assert report["measured_seconds"] is not None
+    assert report["estimated_seconds"] >= 0.0
+    assert report["executed_work_seconds"] > 0.0
+    losers = [a for a in report["alternatives"] if not a["chosen"]]
+    assert losers and all("why_lost" in a for a in losers)
+    [winner] = [a for a in report["alternatives"] if a["chosen"]]
+    assert "why" in winner
+    assert report["calibration"]["samples"] == 1
+    # explain() accepts the query name too, and unknown names return None.
+    assert router.explain("qB") == report
+    assert router.explain("never-ran") is None
+
+
+def test_calibrator_feedback_reaches_predictions():
+    router = _single_partition_router()
+    query = CountQuery(table="Alpha", predicate=TruePredicate(), label="qA")
+    first = router.explain  # noqa: F841 - readability
+    router.query(query, time=1)
+    router.query(query, time=2)
+    router.query(query, time=3)
+    report = router.explain(query)
+    assert report["calibration"]["samples"] == 3
+    assert report["calibration"]["ratio"] is not None
+    # With a learned ratio, predictions are marked calibrated.
+    [winner] = [a for a in report["alternatives"] if a["chosen"]]
+    assert winner["calibrated"]
+
+
+def test_deployment_forwards_explain():
+    router = _single_partition_router()
+    deployment = Deployment(router)
+    query = CountQuery(table="Alpha", predicate=TruePredicate(), label="qA")
+    router.query(query, time=1)
+    assert deployment.explain(query) == router.explain(query)
+    plain = Deployment(ObliDB(rng=np.random.default_rng(0)))
+    assert plain.explain(query) is None
+
+
+def test_ordered_join_probes_validates_side():
+    join = JoinCountQuery(
+        left_table="Alpha",
+        right_table="Beta",
+        left_attribute="key",
+        right_attribute="key",
+        label="qJ",
+    )
+    (first, first_side), (second, second_side) = ordered_join_probes(join, "right")
+    assert (first_side, second_side) == ("right", "left")
+    assert first.table == "Beta" and second.table == "Alpha"
+    with pytest.raises(ValueError, match="first_side"):
+        ordered_join_probes(join, "middle")
+
+
+# ---------------------------------------------------------------------------
+# Satellite bugfixes
+# ---------------------------------------------------------------------------
+
+
+def test_join_count_histograms_keeps_integer_exactness():
+    assert join_count_from_histograms({1: 2, 2: 3}, {1: 4, 3: 9}) == 8
+    assert isinstance(join_count_from_histograms({1: 2}, {1: 4}), int)
+
+
+def test_join_count_histograms_preserves_noisy_floats():
+    # A histogram carrying unrounded DP noise must not be truncated: the
+    # old int() cast silently biased the gathered count toward zero.
+    noisy = join_count_from_histograms({1: 1.7}, {1: 1})
+    assert isinstance(noisy, float)
+    assert noisy == pytest.approx(1.7)
+    assert join_count_from_histograms({1: 0.4, 2: 1.2}, {1: 2, 2: 1}) == pytest.approx(
+        2.0
+    )
+
+
+def test_join_upper_bound_helper():
+    assert join_upper_bound({1: 2, 2: 3}, 10) == 50
+    assert isinstance(join_upper_bound({1: 1.5}, 2), float)
+
+
+def test_wall_clock_stats_count_setup_attempts():
+    router = ShardRouter(_shards(2), route_seed=0, executor="serial")
+    records = [_record("Alpha", i % 5, i, False, 0) for i in range(8)]
+    router.setup(records, time=0)
+    assert router.measured.setup_calls == 1
+    # A failed Setup attempt (shards already initialized) still counts --
+    # calls/seconds share one attempt basis across the protocol surface.
+    with pytest.raises(RuntimeError):
+        router.setup(records, time=0)
+    assert router.measured.setup_calls == 2
+    assert router.measured.setup_seconds > 0.0
+    router.measured.reset()
+    assert router.measured.setup_calls == 0
+    assert router.measured.setup_seconds == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Plan invariance (Hypothesis property, forced alternatives)
+# ---------------------------------------------------------------------------
+
+# One batch: (table index, key, value, is_dummy) per record.
+_contents = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(0, len(TABLES) - 1),
+            st.integers(0, 4),
+            st.integers(0, 30),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def _build(K: int, cls, planner) -> ShardRouter:
+    return ShardRouter(
+        _shards(K, cls, seed=11), route_seed=7, executor="serial", planner=planner
+    )
+
+
+def _run(router: ShardRouter, batches, queries) -> list:
+    """Ingest the batches, querying at every checkpoint; return the trace."""
+    trace = []
+    router.setup([], time=0)
+    for time, batch in enumerate(batches, start=1):
+        records = [
+            _record(TABLES[t], key, value, dummy, time)
+            for t, key, value, dummy in batch
+        ]
+        router.update(records, time=time)
+        for query in queries:
+            trace.append(router.query(query, time=time))
+    return trace
+
+
+@settings(max_examples=8, deadline=None)
+@given(batches=_contents)
+def test_plan_invariance_property(batches):
+    """Any forced plan choice replays the planner-off observables exactly:
+    full QueryResults at every checkpoint, the aggregate transcript, and the
+    per-shard transcripts -- K in {1, 2, 4}, both back-ends."""
+    for cls in (ObliDB, CryptEpsilon):
+        include_join = cls is ObliDB
+        queries = _queries(include_join=include_join)
+        for K in (1, 2, 4):
+            off = _build(K, cls, "off")
+            baseline = _run(off, batches, queries)
+            history = update_pattern_observables(off.update_history)
+            per_shard = off.per_shard_observables()
+
+            # Discover how many alternatives each query enumerates, then
+            # force every alternative index in turn on a fresh router.
+            seen_alternatives: dict[str, int] = {}
+
+            def record(query, alternatives):
+                seen_alternatives[query.name] = len(alternatives)
+                return None
+
+            probe = _build(K, cls, QueryPlanner(override=record))
+            assert _run(probe, batches, queries) == baseline
+            max_alternatives = max(seen_alternatives.values())
+
+            for index in range(max_alternatives):
+                forced = _build(
+                    K,
+                    cls,
+                    QueryPlanner(
+                        override=lambda q, alts, i=index: alts[i % len(alts)]
+                    ),
+                )
+                assert _run(forced, batches, queries) == baseline
+                assert update_pattern_observables(forced.update_history) == history
+                assert forced.per_shard_observables() == per_shard

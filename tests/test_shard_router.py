@@ -245,3 +245,115 @@ def test_sharded_query_cost_scales_down():
     # Perfectly balanced shards would give 4x on the linear term; allow
     # hash-imbalance and the fixed per-query base.
     assert unsharded.qet_seconds / gathered.qet_seconds > 2.0
+
+
+# ---------------------------------------------------------------------------
+# Routing determinism under failures (staged ordinal commit)
+# ---------------------------------------------------------------------------
+
+
+class _FlakyShard:
+    """Wraps a shard; raises on the first ``insert_many`` after arming."""
+
+    def __init__(self, shard):
+        self._shard = shard
+        self.armed = False
+
+    def __getattr__(self, name):
+        return getattr(self._shard, name)
+
+    def insert_many(self, batches, time):
+        if self.armed:
+            self.armed = False
+            raise RuntimeError("injected shard failure")
+        return self._shard.insert_many(batches, time=time)
+
+
+def _routing_snapshot(router: ShardRouter) -> list[dict[str, int]]:
+    """Per-shard table sizes: where every record actually landed."""
+    return [
+        {table: shard.table_size(table) for table in TABLES}
+        for shard in router.shards
+    ]
+
+
+@pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+def test_failed_update_leaves_ordinals_unchanged(executor):
+    """Update before Setup fails on every shard -- and must not advance
+    routing state: a retry after Setup routes identically to a run that
+    never failed (the issue's repro, on every fan-out executor)."""
+    records = [_record("Alpha", i % 5, i, False, 1) for i in range(24)] + [
+        _record("Beta", i % 3, i, False, 1) for i in range(11)
+    ]
+    router = _make_router(2)
+    clean = _make_router(2)
+    if executor != "threads":
+        router = ShardRouter(
+            [ObliDB(rng=np.random.default_rng(i)) for i in range(2)],
+            route_seed=0,
+            executor=executor,
+        )
+        clean = ShardRouter(
+            [ObliDB(rng=np.random.default_rng(i)) for i in range(2)],
+            route_seed=0,
+            executor=executor,
+        )
+    try:
+        with pytest.raises(RuntimeError):
+            router.update(records, time=1)
+        assert router._ordinals == {}
+        assert router._table_shard_counts == {}
+
+        router.setup([])
+        router.update(records, time=1)
+        clean.setup([])
+        clean.update(records, time=1)
+        assert _routing_snapshot(router) == _routing_snapshot(clean)
+        assert router._ordinals == clean._ordinals
+        assert router.table_shard_counts("Alpha") == clean.table_shard_counts("Alpha")
+        assert router.table_shard_counts("Beta") == clean.table_shard_counts("Beta")
+    finally:
+        router.close()
+        clean.close()
+
+
+def test_mid_scatter_shard_failure_keeps_routing_staged():
+    """A shard raising mid-scatter (after others may have ingested) still
+    leaves ordinals uncommitted, so the retry partitions identically."""
+    flaky = _FlakyShard(ObliDB(rng=np.random.default_rng(1)))
+    router = ShardRouter(
+        [ObliDB(rng=np.random.default_rng(0)), flaky], route_seed=0, executor="serial"
+    )
+    clean = _make_router(2)
+    router.setup([])
+    clean.setup([])
+
+    first = [_record("Alpha", i % 5, i, False, 1) for i in range(16)]
+    second = [_record("Alpha", i % 5, i, False, 2) for i in range(16, 40)]
+    router.update(first, time=1)
+    clean.update(first, time=1)
+    ordinals_before = dict(router._ordinals)
+    counts_before = router.table_shard_counts("Alpha")
+
+    flaky.armed = True
+    with pytest.raises(RuntimeError, match="injected shard failure"):
+        router.update(second, time=2)
+    assert router._ordinals == ordinals_before
+    assert router.table_shard_counts("Alpha") == counts_before
+
+    # The retry stages the same partition a never-failed router computes.
+    router.update(second, time=2)
+    clean.update(second, time=2)
+    assert router._ordinals == clean._ordinals
+    assert router.table_shard_counts("Alpha") == clean.table_shard_counts("Alpha")
+
+
+def test_failed_setup_leaves_ordinals_unchanged():
+    """Setup that raises (second Setup on initialized shards) stays staged."""
+    router = _make_router(2)
+    records = [_record("Alpha", i % 5, i, False, 0) for i in range(12)]
+    router.setup(records, time=0)
+    ordinals = dict(router._ordinals)
+    with pytest.raises(RuntimeError):
+        router.setup(records, time=0)
+    assert router._ordinals == ordinals
