@@ -103,6 +103,28 @@ class Owner:
             self._pattern.record(time, result.total_added)
         return decision
 
+    # -- durability ----------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Picklable snapshot of the owner's client-side state.
+
+        Everything except the shared EDB reference: schema, strategy (with
+        its RNG, noise stream, cache and accountant), logical mirror,
+        update-pattern transcript and clock.  :meth:`from_state` rebinds the
+        restored state to a (restored) EDB.
+        """
+        state = dict(self.__dict__)
+        state.pop("_edb")
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict, edb: EncryptedDatabase) -> "Owner":
+        """Rebuild an owner from :meth:`export_state` output."""
+        owner = cls.__new__(cls)
+        owner.__dict__.update(state)
+        owner._edb = edb
+        return owner
+
     # -- state -------------------------------------------------------------------
 
     @property

@@ -339,6 +339,55 @@ class EncryptedDatabase:
         """
         self._arena_factory = factory
 
+    def rebuild_arenas(self) -> None:
+        """Recreate every table arena through the installed factory.
+
+        Used after restoring a durable snapshot inside a shard worker:
+        restored arenas are process-local :class:`CiphertextArena`\\ s, and
+        the worker (which has just installed the shared-memory factory)
+        rebuilds them so the coordinator can attach by name again.  Rows,
+        handles and row indices are copied verbatim, so every outstanding
+        handle stays valid.
+        """
+        for table, arena in list(self._arenas.items()):
+            size = len(arena)
+            rebuilt = self._arena_factory()
+            if size:
+                rows = rebuilt.reserve(size)
+                rows[:] = arena._data[:size]
+                rebuilt.set_handles(0, arena._handles[:size])
+            self._arenas[table] = rebuilt
+            arena.release()
+
+    def rotate_key(self, new_key: bytes | None = None) -> RecordCipher:
+        """Re-encrypt every stored ciphertext in place under a fresh key.
+
+        The key lifecycle operation of the durable store: arena rows are
+        re-keyed *in place* (row indices, handles and zero-copy views all
+        stay valid) and object-store ciphertexts are replaced handle-for-
+        handle, so decrypted payloads are byte-identical before and after.
+        Returns the new cipher (also installed as :attr:`cipher`).
+        """
+        if self._cipher is None:
+            raise RuntimeError(
+                "key rotation requires simulate_encryption=True"
+            )
+        new_cipher = self._cipher.rotated(new_key)
+        for arena in self._arenas.values():
+            self._cipher.reencrypt_arena(arena, new_cipher)
+        for table, encrypted in self._ciphertexts.items():
+            self._ciphertexts[table] = [
+                EncryptedRecord(
+                    ciphertext=self._cipher.reencrypt_record(
+                        record.ciphertext, new_cipher
+                    ),
+                    handle=record.handle,
+                )
+                for record in encrypted
+            ]
+        self._cipher = new_cipher
+        return new_cipher
+
     def close(self) -> None:
         """Release arena resources (shared-memory segments, if any).
 

@@ -44,6 +44,7 @@ import json
 import math
 import os
 import uuid
+import weakref
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Any, Iterable, Mapping, Sequence
@@ -338,6 +339,59 @@ def _segment_views(
     return data, handles
 
 
+def _plain_arena_from_rows(
+    row_bytes: bytes, handle_bytes: bytes, size: int
+) -> "CiphertextArena":
+    """Rebuild a process-local arena from serialized rows (pickle support)."""
+    arena = CiphertextArena(initial_capacity=max(size, 1))
+    if size:
+        rows = arena.reserve(size)
+        rows[:] = np.frombuffer(row_bytes, dtype=np.uint8).reshape(
+            size, CIPHERTEXT_SIZE
+        )
+        arena._handles[:size] = np.frombuffer(handle_bytes, dtype=np.int64)
+    return arena
+
+
+def _reap_shared_segments(segments: dict) -> None:
+    """Unlink/close every segment a shared arena still owns.
+
+    Module-level (no reference back to the arena) so it can serve as a
+    ``weakref.finalize`` callback: it runs deterministically when the arena
+    is garbage collected *or* at interpreter exit -- whichever comes first --
+    instead of depending on ``__del__`` timing.  Unlinking is the part that
+    prevents ``/dev/shm`` leaks; a mapping pinned by a live numpy view is
+    released with the process.
+    """
+    for slot in ("current", "pending"):
+        segment = segments.get(slot)
+        if segment is None:
+            continue
+        segments[slot] = None
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a view still pins the map
+            pass
+    for segment in segments.get("retired", ()):
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - still pinned
+            pass
+    segments["retired"] = []
+
+
+def _close_attached_segment(segment: shared_memory.SharedMemory) -> None:
+    """Detach one attached segment (``weakref.finalize`` callback)."""
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - a row view is still alive
+        pass
+
+
 @dataclass(frozen=True)
 class ArenaSegmentHandle:
     """Cross-process address of one ciphertext row: ``(segment_name, row)``.
@@ -373,15 +427,27 @@ class SharedCiphertextArena(CiphertextArena):
     sees correct bytes for every row that existed before the swap.
 
     The creating process owns the segment: call :meth:`release` to unlink it
-    when the arena is dropped (shard workers do this on shutdown).
+    when the arena is dropped (shard workers do this on shutdown).  As a
+    backstop, a ``weakref.finalize`` reaper unlinks the segments when the
+    arena is garbage collected or the interpreter exits -- unlike ``__del__``
+    this is deterministic at shutdown, so an unclosed arena can no longer
+    leak ``/dev/shm`` segments past process exit.
+
+    Pickling serializes the *contents* and reconstructs a process-local
+    :class:`CiphertextArena` (rows, handles and indices preserved verbatim):
+    a shared-memory mapping is only meaningful inside its creating host, so
+    snapshots and cross-process payloads always carry plain arenas.
     """
 
     def __init__(self, initial_capacity: int = 64, name: str | None = None) -> None:
         self._arena_id = name if name is not None else _new_arena_id()
         self._generation = 0
-        self._segment: shared_memory.SharedMemory | None = None
-        self._pending: shared_memory.SharedMemory | None = None
-        self._retired: list[shared_memory.SharedMemory] = []
+        #: Mutable box owning the shm segments; shared with the finalizer so
+        #: the reaper never needs a reference back to ``self``.
+        self._segments: dict = {"current": None, "pending": None, "retired": []}
+        self._finalizer = weakref.finalize(
+            self, _reap_shared_segments, self._segments
+        )
         super().__init__(initial_capacity)
 
     # -- storage backend ------------------------------------------------------
@@ -393,13 +459,13 @@ class SharedCiphertextArena(CiphertextArena):
             size=capacity * _SEGMENT_ROW_STRIDE,
         )
         self._generation += 1
-        self._pending = segment
+        self._segments["pending"] = segment
         return _segment_views(segment.buf, capacity)
 
     def _adopt(self, data: np.ndarray, handles: np.ndarray) -> None:
-        old = self._segment
-        self._segment = self._pending
-        self._pending = None
+        old = self._segments["current"]
+        self._segments["current"] = self._segments["pending"]
+        self._segments["pending"] = None
         super()._adopt(data, handles)
         if old is not None:
             self._retire(old)
@@ -416,27 +482,26 @@ class SharedCiphertextArena(CiphertextArena):
             # A numpy view over the old buffer is still alive somewhere;
             # the mapping is released with the process (the name is gone
             # already, so nothing leaks past process exit).
-            self._retired.append(segment)
+            self._segments["retired"].append(segment)
 
     def release(self) -> None:
         """Unlink the current segment (idempotent; creator-side cleanup)."""
         self._data = np.empty((0, CIPHERTEXT_SIZE), dtype=np.uint8)
         self._handles = np.empty(0, dtype=np.int64)
-        if self._segment is not None:
-            self._retire(self._segment)
-            self._segment = None
-        for segment in self._retired:
-            try:
-                segment.close()
-            except BufferError:  # pragma: no cover - still pinned
-                pass
-        self._retired = []
+        # The finalizer doubles as the release implementation: it is
+        # idempotent (finalize callbacks run at most once) and detaching it
+        # here means a released arena costs nothing at GC/exit time.
+        self._finalizer()
 
-    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
-        try:
-            self.release()
-        except Exception:
-            pass
+    def __reduce__(self):
+        return (
+            _plain_arena_from_rows,
+            (
+                self._data[: self._size].tobytes(),
+                self._handles[: self._size].tobytes(),
+                self._size,
+            ),
+        )
 
     # -- publication ----------------------------------------------------------
 
@@ -453,9 +518,10 @@ class SharedCiphertextArena(CiphertextArena):
     @property
     def segment_name(self) -> str:
         """Name of the current backing segment (``<arena_id>.g<n>``)."""
-        if self._segment is None:
+        segment = self._segments["current"]
+        if segment is None:
             raise RuntimeError("arena released")
-        return self._segment.name
+        return segment.name
 
     def handle_for(self, index: int) -> ArenaSegmentHandle:
         """The cross-process handle of row ``index``."""
@@ -490,10 +556,18 @@ class AttachedArenaView:
     """
 
     def __init__(self, segment_name: str, size: int) -> None:
-        self._segment = attach_shared_memory(segment_name)
+        # Arena ids embed the creating pid: an attach within the creator's
+        # own process (tests, single-process fleets) must leave the creator's
+        # resource-tracker registration alone.
+        created_here = segment_name.startswith(f"repro-arena-{os.getpid()}-")
+        self._segment = attach_shared_memory(segment_name, untrack=not created_here)
         self._name = segment_name
+        self._finalizer = weakref.finalize(
+            self, _close_attached_segment, self._segment
+        )
         capacity = len(self._segment.buf) // _SEGMENT_ROW_STRIDE
         if size > capacity:
+            self._finalizer()
             raise ValueError(
                 f"published size {size} exceeds segment capacity {capacity}"
             )
@@ -535,16 +609,7 @@ class AttachedArenaView:
         self._data = np.empty((0, CIPHERTEXT_SIZE), dtype=np.uint8)
         self._handles = np.empty(0, dtype=np.int64)
         self._size = 0
-        try:
-            self._segment.close()
-        except BufferError:  # pragma: no cover - a row view is still alive
-            pass
-
-    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
-        try:
-            self.close()
-        except Exception:
-            pass
+        self._finalizer()
 
 
 class ArenaSegmentCache:
@@ -562,16 +627,26 @@ class ArenaSegmentCache:
         self._current: dict[str, dict] = {}
 
     def publish(self, state: Mapping) -> AttachedArenaView:
-        """Record an arena's published state; return the current attachment."""
+        """Record an arena's published state; return the current attachment.
+
+        Publishes are generation-ordered: a state older than the one already
+        known for the arena (a delayed/re-delivered message from before a
+        growth swap) is ignored rather than re-attached -- its segment name
+        is already unlinked, and rolling ``_current`` back would strand every
+        handle minted since the swap.
+        """
         arena_id = state["arena_id"]
         segment_name = state["segment_name"]
         known = self._current.get(arena_id)
-        if known is not None and known["segment_name"] != segment_name:
-            # The arena grew or compacted into a fresh segment: drop the
-            # superseded attachment (its name may already be unlinked).
-            stale = self._views.pop(known["segment_name"], None)
-            if stale is not None:
-                stale.close()
+        if known is not None:
+            if state["generation"] < known["generation"]:
+                return self.publish(known)
+            if known["segment_name"] != segment_name:
+                # The arena grew or compacted into a fresh segment: drop the
+                # superseded attachment (its name may already be unlinked).
+                stale = self._views.pop(known["segment_name"], None)
+                if stale is not None:
+                    stale.close()
         self._current[arena_id] = dict(state)
         view = self._views.get(segment_name)
         if view is None or len(view) < state["size"]:
@@ -635,6 +710,31 @@ class RecordCipher:
         padded = hmac_key.ljust(64, b"\x00")
         self._hmac_inner = hashlib.sha256(bytes(b ^ 0x36 for b in padded))
         self._hmac_outer = hashlib.sha256(bytes(b ^ 0x5C for b in padded))
+
+    def __getstate__(self) -> dict:
+        # The hash prototypes are C hashlib objects and cannot be pickled;
+        # they are pure functions of the key, so drop them here and rebuild
+        # them on restore.
+        return {"key": self.key, "_next_handle": self._next_handle}
+
+    def __setstate__(self, state: dict) -> None:
+        self.key = state["key"]
+        self._next_handle = state["_next_handle"]
+        self.__post_init__()
+
+    def rotated(self, new_key: bytes | None = None) -> "RecordCipher":
+        """A cipher under a fresh key that continues this handle sequence.
+
+        Handles are opaque server-side identifiers, not key material: a
+        rotation must keep minting from where the old cipher stopped so
+        existing :class:`ArenaRecord` handles stay unique alongside
+        post-rotation ones.
+        """
+        cipher = RecordCipher(
+            key=new_key if new_key is not None else os.urandom(32)
+        )
+        cipher._next_handle = self._next_handle
+        return cipher
 
     def encrypt(self, record: Record) -> EncryptedRecord:
         """Encrypt ``record`` into a fixed-size :class:`EncryptedRecord`.
@@ -803,6 +903,114 @@ class RecordCipher:
             )
             for index in range(n)
         ]
+
+    def reencrypt_arena(
+        self, arena: "CiphertextArena", new_cipher: "RecordCipher"
+    ) -> int:
+        """Re-encrypt every arena row *in place* under ``new_cipher``'s key.
+
+        Rotation works at the padded-plaintext-block level: each row's tag is
+        verified under this (old) key, the 256-byte padded block is recovered
+        by XORing off the old keystream, and that exact block is re-encrypted
+        under ``new_cipher`` with a fresh nonce -- no serialize round trip,
+        so decrypted payloads are byte-identical before and after.  Rows,
+        handles and row indices are untouched, which keeps every outstanding
+        :class:`ArenaRecord` / :class:`ArenaSegmentHandle` valid.  Returns
+        the number of rows re-encrypted.
+        """
+        n = len(arena)
+        if n == 0:
+            return 0
+        rows = arena._data[:n]
+        row_view = memoryview(rows).cast("B")
+
+        # Verify + strip the old keystream (batched like decrypt_many).
+        hmac_inner, hmac_outer = self._hmac_inner, self._hmac_outer
+        blake_proto = self._blake_proto
+        digests: list[bytes] = []
+        for index in range(n):
+            offset = index * CIPHERTEXT_SIZE
+            authenticated = row_view[offset : offset + _BODY_END]
+            inner = hmac_inner.copy()
+            inner.update(authenticated)
+            outer = hmac_outer.copy()
+            outer.update(inner.digest())
+            if not hmac.compare_digest(
+                row_view[offset + _BODY_END : offset + CIPHERTEXT_SIZE],
+                outer.digest(),
+            ):
+                raise ValueError(
+                    "ciphertext failed authentication during re-keying"
+                )
+            nonce = authenticated[:NONCE_SIZE]
+            for counter in _KEYSTREAM_COUNTERS:
+                h = blake_proto.copy()
+                h.update(nonce)
+                h.update(counter)
+                digests.append(h.digest())
+        old_keystream = np.frombuffer(b"".join(digests), dtype=np.uint8).reshape(
+            n, PLAINTEXT_BLOCK_SIZE
+        )
+        plaintext_blocks = rows[:, NONCE_SIZE:_BODY_END] ^ old_keystream
+
+        # Fresh nonces + new keystream + new tags (batched like
+        # encrypt_many_into), written straight back into the same rows.
+        nonces = os.urandom(NONCE_SIZE * n)
+        rows[:, :NONCE_SIZE] = np.frombuffer(nonces, dtype=np.uint8).reshape(
+            n, NONCE_SIZE
+        )
+        new_proto = new_cipher._blake_proto
+        digests = []
+        for index in range(n):
+            nonce = nonces[index * NONCE_SIZE : (index + 1) * NONCE_SIZE]
+            for counter in _KEYSTREAM_COUNTERS:
+                h = new_proto.copy()
+                h.update(nonce)
+                h.update(counter)
+                digests.append(h.digest())
+        new_keystream = np.frombuffer(b"".join(digests), dtype=np.uint8).reshape(
+            n, PLAINTEXT_BLOCK_SIZE
+        )
+        np.bitwise_xor(
+            plaintext_blocks, new_keystream, out=rows[:, NONCE_SIZE:_BODY_END]
+        )
+
+        new_inner, new_outer = new_cipher._hmac_inner, new_cipher._hmac_outer
+        tags: list[bytes] = []
+        for index in range(n):
+            offset = index * CIPHERTEXT_SIZE
+            inner = new_inner.copy()
+            inner.update(row_view[offset : offset + _BODY_END])
+            outer = new_outer.copy()
+            outer.update(inner.digest())
+            tags.append(outer.digest())
+        rows[:, _BODY_END:] = np.frombuffer(b"".join(tags), dtype=np.uint8).reshape(
+            n, 32
+        )
+        return n
+
+    def reencrypt_record(
+        self, ciphertext: bytes, new_cipher: "RecordCipher"
+    ) -> bytes:
+        """Re-encrypt one object-backed ciphertext under ``new_cipher``'s key.
+
+        Same block-level contract as :meth:`reencrypt_arena`: the padded
+        plaintext block is carried over verbatim, so the record decrypts
+        byte-identically under the new key.
+        """
+        nonce = ciphertext[:NONCE_SIZE]
+        body = ciphertext[NONCE_SIZE:-32]
+        tag = ciphertext[-32:]
+        expected = hmac.new(self.key, nonce + body, hashlib.sha256).digest()
+        if not hmac.compare_digest(tag, expected):
+            raise ValueError("ciphertext failed authentication during re-keying")
+        plaintext = _xor(body, self._keystream(nonce, len(body)))
+        new_nonce = os.urandom(NONCE_SIZE)
+        new_body = _xor(plaintext, new_cipher._keystream(new_nonce, len(plaintext)))
+        new_tag = hmac.new(
+            new_cipher.key, new_nonce + new_body, hashlib.sha256
+        ).digest()
+        return new_nonce + new_body + new_tag
 
     def _keystream(self, nonce: bytes, length: int) -> bytes:
         blocks = []

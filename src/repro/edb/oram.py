@@ -35,6 +35,8 @@ per-block constants as sequential ones, they simply touch fewer nodes.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Any, Iterable
 
@@ -75,6 +77,31 @@ def _tree_geometry(capacity: int) -> tuple[int, int, int]:
     num_leaves = 2**height
     num_nodes = 2 ** (height + 1) - 1
     return height, num_leaves, num_nodes
+
+
+def _position_map_snapshot(
+    position_map: dict[int, int], stash: "dict | Iterable[int]"
+) -> dict:
+    """Deterministic, checksummed view of client-side ORAM metadata.
+
+    Sorted ``(block_id, leaf)`` pairs plus the stash's block ids, with a
+    SHA-256 over their canonical JSON encoding.  Shared by both ORAM
+    implementations so the durable store can persist the snapshot alongside
+    the pickled ORAM and verify on restore that the position map survived
+    the round trip bit-exactly.
+    """
+    positions = sorted(
+        (int(block), int(leaf)) for block, leaf in position_map.items()
+    )
+    stash_ids = sorted(int(block) for block in stash)
+    encoded = json.dumps(
+        {"positions": positions, "stash": stash_ids}, separators=(",", ":")
+    ).encode()
+    return {
+        "positions": positions,
+        "stash": stash_ids,
+        "checksum": hashlib.sha256(encoded).hexdigest(),
+    }
 
 
 def _check_batch_capacity(
@@ -161,6 +188,11 @@ class PathORAM:
     def stash_size(self) -> int:
         """Current number of blocks waiting in the client stash."""
         return len(self._stash)
+
+    def position_map_snapshot(self) -> dict:
+        """Checksummed snapshot of the position map and stash (see
+        :func:`_position_map_snapshot`); persisted by the durable store."""
+        return _position_map_snapshot(self._position_map, self._stash)
 
     def write(self, block_id: int, payload: Any) -> None:
         """Insert or overwrite the block ``block_id`` with ``payload``."""
@@ -380,6 +412,11 @@ class ReferencePathORAM:
     def stash_size(self) -> int:
         """Current number of blocks waiting in the client stash."""
         return len(self._stash)
+
+    def position_map_snapshot(self) -> dict:
+        """Checksummed snapshot of the position map and stash (see
+        :func:`_position_map_snapshot`); persisted by the durable store."""
+        return _position_map_snapshot(self._position_map, self._stash)
 
     def write(self, block_id: int, payload: Any) -> None:
         """Insert or overwrite the block ``block_id`` with ``payload``."""

@@ -22,6 +22,7 @@ __all__ = [
     "DUMMY_SENTINEL",
     "Schema",
     "Record",
+    "SchemaDummyFactory",
     "make_dummy_record",
     "count_real",
     "count_dummy",
@@ -139,6 +140,22 @@ def make_dummy_record(schema: Schema, arrival_time: int = 0) -> Record:
         is_dummy=True,
         table=schema.name,
     )
+
+
+@dataclass(frozen=True)
+class SchemaDummyFactory:
+    """Picklable ``dummy_factory`` callable bound to one schema.
+
+    Strategies hold their dummy factory for the lifetime of a run; binding
+    the schema with a lambda would make the whole strategy state unpicklable,
+    which the durable store (``repro.edb.store``) relies on for
+    kill-and-resume snapshots.
+    """
+
+    schema: Schema
+
+    def __call__(self, arrival_time: int = 0) -> Record:
+        return make_dummy_record(self.schema, arrival_time)
 
 
 def count_real(records: Iterable[Record]) -> int:

@@ -54,6 +54,7 @@ from __future__ import annotations
 import hashlib
 import logging
 import time as _time
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
@@ -94,6 +95,24 @@ SHARD_EXECUTORS = ("threads", "serial", "processes")
 #: Concurrent executors already warned about on a single-CPU host, so the
 #: footgun warning fires once per executor per process, not once per cell.
 _warned_single_cpu: set[str] = set()
+
+
+def _release_router_resources(resources: dict) -> None:
+    """Shut down a router's fan-out pool and worker clients.
+
+    Module-level over a shared mutable box (no reference back to the router)
+    so it can double as a ``weakref.finalize`` callback: worker processes
+    and their shared-memory arenas are reaped deterministically when the
+    router is garbage collected or the interpreter exits, instead of
+    depending on ``__del__`` timing.  Safe to call repeatedly --
+    ``client.close()`` is idempotent and the pool slot is cleared.
+    """
+    pool = resources.get("pool")
+    if pool is not None:
+        resources["pool"] = None
+        pool.shutdown(wait=False, cancel_futures=True)
+    for client in resources.get("clients", ()):
+        client.close()
 
 
 def resolve_shard_executor(executor: str) -> str:
@@ -238,6 +257,12 @@ class ShardRouter:
         #: ``measured.reset()`` meaningful across benchmark phases.
         self._client_marks = [client.stats() for client in self._clients]
         self._pool: ThreadPoolExecutor | None = None
+        #: Mutable box shared with the finalizer: the pool is created lazily
+        #: by :meth:`_pool_map`, so the box is updated there as well.
+        self._resources: dict = {"pool": None, "clients": self._clients}
+        self._finalizer = weakref.finalize(
+            self, _release_router_resources, self._resources
+        )
         self._ordinals: dict[str, int] = {}
         #: Partition metadata: per table, how many records were routed to
         #: each shard.  Maintained coordinator-side during partitioning (no
@@ -273,6 +298,7 @@ class ShardRouter:
                 max_workers=len(self._shards),
                 thread_name_prefix="shard-router",
             )
+            self._resources["pool"] = self._pool
         return list(self._pool.map(fn, items))
 
     def _absorb_worker_stats(self) -> None:
@@ -293,17 +319,20 @@ class ShardRouter:
 
     def close(self) -> None:
         """Shut down the fan-out pool and any worker processes (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-        for client in self._clients:
-            client.close()
+        self._pool = None
+        _release_router_resources(self._resources)
 
-    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
-        try:
-            self.close()
-        except Exception:
-            pass
+    def rotate_key(self, new_key: bytes | None = None) -> None:
+        """Re-key every shard in place (fan-out like any protocol call).
+
+        Each shard keeps its own independent record cipher; with the
+        default ``new_key=None`` every shard draws a fresh key of its own,
+        while an explicit key is installed on all shards (single-shard
+        routers and tests).  Arena rows are re-encrypted in place, so all
+        outstanding handles and zero-copy views stay valid.
+        """
+        self._map(lambda shard: shard.rotate_key(new_key), self._shards)
+        self._absorb_worker_stats()
 
     # -- topology -----------------------------------------------------------
 

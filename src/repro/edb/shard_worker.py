@@ -123,9 +123,13 @@ def shard_worker_main(conn: Connection, shard: "EncryptedDatabase", index: int) 
     """
     if getattr(shard, "set_arena_factory", None) is not None:
         # Ciphertext arenas created from now on live in named shared memory
-        # so the coordinator can read rows zero-copy.  (Arenas that existed
-        # before startup stay local; shards are handed over empty.)
+        # so the coordinator can read rows zero-copy.  Fresh shards arrive
+        # empty; a shard restored from a durable snapshot arrives with
+        # process-local arenas, which are converted here (rows, handles and
+        # indices verbatim) so published handles resolve again.
         shard.set_arena_factory(_shared_arena_factory)
+        if getattr(shard, "_arenas", None):
+            shard.rebuild_arenas()
     try:
         while True:
             try:
@@ -174,6 +178,18 @@ def _dispatch(shard: "EncryptedDatabase", command: str, args: tuple):
         return None if cipher is None else cipher.key
     if command == "arena_states":
         return _arena_states(shard)
+    if command == "snapshot":
+        # Serialized worker-side so the bytes carry the authoritative shard
+        # state (RNG stream, ORAM maps, arenas) -- only the blob crosses
+        # the pipe.  Imported lazily: the worker loop must not pay for the
+        # store module unless durability is in use.
+        from repro.edb.store import snapshot_backend
+
+        return snapshot_backend(shard)
+    if command == "rotate_key":
+        (new_key,) = args
+        shard.rotate_key(new_key)
+        return None
     if command in _CALLABLE_METHODS:
         return getattr(shard, command)(*args)
     raise ValueError(f"unknown shard-worker command {command!r}")
@@ -344,6 +360,21 @@ class ShardWorkerClient:
 
     def table_dummy_count(self, table: str) -> int:
         return self._call("table_dummy_count", table)
+
+    # -- durability & key lifecycle -------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Worker-side :func:`repro.edb.store.snapshot_backend` bytes."""
+        return self._call("snapshot")
+
+    def rotate_key(self, new_key: bytes | None = None) -> None:
+        """Re-key the worker's shard in place (arena rows stay addressable).
+
+        The coordinator-side cipher cache is dropped first, so the next
+        :attr:`cipher` access fetches the post-rotation key.
+        """
+        self._cipher = None
+        self._call("rotate_key", new_key)
 
     # -- zero-copy ciphertext access ------------------------------------------
 

@@ -74,10 +74,15 @@ class _Periodic:
 class Engine:
     """Scheduled-event simulation core bounded by ``horizon`` time units."""
 
-    def __init__(self, horizon: int) -> None:
+    def __init__(self, horizon: int, start_time: int = 0) -> None:
         if horizon < 0:
             raise ValueError("horizon must be non-negative")
+        if not 0 <= start_time <= horizon:
+            raise ValueError(
+                f"start_time must be in [0, {horizon}], got {start_time}"
+            )
         self._horizon = horizon
+        self._start_time = start_time
         self._scheduler = EventScheduler()
         self._streams: list[_Stream] = []
         self._periodics: list[_Periodic] = []
@@ -102,6 +107,7 @@ class Engine:
         deliver: Callable[[int, Record | None], object],
         arrivals: Iterable[tuple[int, Record]] = (),
         next_self_event: Callable[[int], int | None] | None = None,
+        resume_at: int = 0,
     ) -> None:
         """Register a stream.
 
@@ -117,12 +123,19 @@ class Engine:
             Iterable of ``(time, record)`` pairs with strictly increasing
             times (e.g. :meth:`GrowingDatabase.arrivals`); consumed lazily.
         next_self_event:
-            Optional hint called after every delivery (and once with 0 before
-            the run) returning the next time the stream must be woken even
-            without an arrival, or ``None``.
+            Optional hint called after every delivery (and once with
+            ``resume_at`` before the run) returning the next time the stream
+            must be woken even without an arrival, or ``None``.
+        resume_at:
+            Last time unit already delivered to the stream in a previous
+            (persisted) run.  Arrivals at or before this time are consumed
+            without delivery and the first self-event hint is taken at this
+            time rather than 0.
         """
         if self._ran:
             raise RuntimeError("streams must be registered before run()")
+        if resume_at < 0:
+            raise ValueError("resume_at must be non-negative")
         self._streams.append(
             _Stream(
                 name=name,
@@ -130,6 +143,7 @@ class Engine:
                 arrivals=iter(arrivals),
                 next_self_event=next_self_event,
                 index=len(self._streams),
+                last_tick=resume_at,
             )
         )
 
@@ -152,11 +166,12 @@ class Engine:
         self._ran = True
         for stream in self._streams:
             self._pull_arrival(stream)
-            self._schedule_self(stream, 0)
+            self._schedule_self(stream, stream.last_tick)
         for periodic in self._periodics:
-            if periodic.interval <= self._horizon:
+            first = ((self._start_time // periodic.interval) + 1) * periodic.interval
+            if first <= self._horizon:
                 self._scheduler.schedule(
-                    periodic.interval, (_PERIODIC_CLASS, periodic.index), periodic
+                    first, (_PERIODIC_CLASS, periodic.index), periodic
                 )
         while self._scheduler:
             event = self._scheduler.pop()
@@ -172,16 +187,22 @@ class Engine:
 
     def _pull_arrival(self, stream: _Stream) -> None:
         """Advance the arrival iterator and schedule the wake-up, if any."""
-        entry = next(stream.arrivals, None)
-        if entry is None:
-            stream.pending = None
-            return
-        time, record = entry
-        if stream.pending is not None and time <= stream.pending[0]:
-            raise ValueError(
-                f"stream {stream.name!r}: arrival times must be strictly "
-                f"increasing (got {time} after {stream.pending[0]})"
-            )
+        while True:
+            entry = next(stream.arrivals, None)
+            if entry is None:
+                stream.pending = None
+                return
+            time, record = entry
+            if stream.pending is not None and time <= stream.pending[0]:
+                raise ValueError(
+                    f"stream {stream.name!r}: arrival times must be strictly "
+                    f"increasing (got {time} after {stream.pending[0]})"
+                )
+            if time > stream.last_tick:
+                break
+            # Resumed stream: this arrival was already delivered before the
+            # snapshot.  Consume it, keeping monotonicity validation anchored.
+            stream.pending = entry
         if time > self._horizon:
             # Times are increasing, so everything further is out of range too.
             stream.pending = None

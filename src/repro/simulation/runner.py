@@ -59,6 +59,7 @@ from repro.query.planner import resolve_planner_mode
 from repro.query.ast import JoinCountQuery, Query
 from repro.simulation.results import RunResult
 from repro.simulation.simulator import Simulation, SimulationConfig, derive_schema
+from repro.util.io import atomic_write_text
 from repro.util.mp import preferred_mp_context
 from repro.workload.scenarios import build_scenario, partition_fleet, scenario_queries
 
@@ -352,11 +353,35 @@ def _queries_for(spec: CellSpec) -> list[Query]:
     return supported_backend_queries(spec.backend, queries)
 
 
-def run_cell(spec: CellSpec) -> RunResult:
+def _safe_cell_name(spec: CellSpec) -> str:
+    """Filesystem-safe per-cell name shared by checkpoints and persist dirs."""
+    safe = "".join(c if c.isalnum() or c in "-_=." else "_" for c in spec.cell_id)
+    return f"{safe[:80]}-{spec.fingerprint()}"
+
+
+def _cell_persist_dir(
+    persist_dir: str | os.PathLike | None, spec: CellSpec
+) -> Path | None:
+    """Per-cell snapshot-store directory under the grid's ``persist_dir``.
+
+    Keyed by the cell's fingerprint (not only its id), so a re-parameterized
+    cell never resumes from a stale snapshot of its previous definition.
+    """
+    if persist_dir is None:
+        return None
+    return Path(persist_dir) / _safe_cell_name(spec)
+
+
+def run_cell(
+    spec: CellSpec, persist_dir: str | os.PathLike | None = None
+) -> RunResult:
     """Execute one grid cell and return its :class:`RunResult`.
 
     All randomness derives from the seeds recorded on the spec, so the result
-    is identical no matter which process (or machine) runs the cell.
+    is identical no matter which process (or machine) runs the cell.  With
+    ``persist_dir``, the cell writes kill-safe mid-run snapshots into its own
+    fingerprint-keyed subdirectory and resumes from them (see
+    :meth:`Simulation.run`); the replay is bit-identical either way.
     """
     workloads = _cached_workloads(
         spec.scenario, spec.workload_seed, spec.scale, spec.scenario_kwargs
@@ -414,12 +439,14 @@ def run_cell(spec: CellSpec) -> RunResult:
         config=config,
         schemas=schemas,
     )
-    return simulation.run()
+    return simulation.run(persist_dir=_cell_persist_dir(persist_dir, spec))
 
 
-def _run_cell_timed(spec: CellSpec) -> tuple[RunResult, float]:
+def _run_cell_timed(
+    spec: CellSpec, persist_dir: str | os.PathLike | None = None
+) -> tuple[RunResult, float]:
     start = time.perf_counter()
-    result = run_cell(spec)
+    result = run_cell(spec, persist_dir=persist_dir)
     return result, time.perf_counter() - start
 
 
@@ -603,6 +630,15 @@ class GridRunner:
         simple remaining-cells ETA to stderr; a callable receives the same
         information as a dict (keys ``done``, ``total``, ``cell_id``,
         ``cell_seconds``, ``elapsed_seconds``, ``eta_seconds``, ``resumed``).
+    persist_dir:
+        When given, every *running* cell additionally snapshots its full
+        mid-run state (EDB, owners, ground truth, partial result) into
+        ``<persist_dir>/<id>-<fingerprint>/`` after each query observation
+        via :class:`~repro.edb.store.SnapshotStore`.  A killed sweep then
+        resumes each unfinished cell from its last snapshot instead of
+        restarting it, with a bit-identical replay; the per-cell store is
+        removed once the cell completes (``artifact_dir`` checkpoints cover
+        finished cells).
     """
 
     def __init__(
@@ -610,16 +646,17 @@ class GridRunner:
         n_workers: int | None = None,
         artifact_dir: str | os.PathLike | None = None,
         progress: bool | Callable[[dict], None] = False,
+        persist_dir: str | os.PathLike | None = None,
     ) -> None:
         self._n_workers = n_workers
         self._artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
         self._progress = progress
+        self._persist_dir = Path(persist_dir) if persist_dir is not None else None
 
     # -- artifact layout ------------------------------------------------------
 
     def _cell_path(self, spec: CellSpec) -> Path:
-        safe = "".join(c if c.isalnum() or c in "-_=." else "_" for c in spec.cell_id)
-        return self._artifact_dir / "cells" / f"{safe[:80]}-{spec.fingerprint()}.json"
+        return self._artifact_dir / "cells" / f"{_safe_cell_name(spec)}.json"
 
     def _load_checkpoint(self, spec: CellSpec) -> tuple[RunResult, float] | None:
         if self._artifact_dir is None:
@@ -649,9 +686,9 @@ class GridRunner:
             "result": result.to_dict(),
             "elapsed_seconds": round(seconds, 4),
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=1) + "\n")
-        os.replace(tmp, path)
+        # Atomic + fsync'd: a SIGKILL mid-write must never leave a torn
+        # checkpoint that a resume would have to guess about.
+        atomic_write_text(path, json.dumps(payload, indent=1) + "\n")
 
     def _write_manifest(self, cells: Sequence[CellSpec]) -> None:
         if self._artifact_dir is None:
@@ -665,9 +702,10 @@ class GridRunner:
                 for spec in cells
             ],
         }
-        tmp = self._artifact_dir / "manifest.tmp"
-        tmp.write_text(json.dumps(manifest, indent=1) + "\n")
-        os.replace(tmp, self._artifact_dir / "manifest.json")
+        atomic_write_text(
+            self._artifact_dir / "manifest.json",
+            json.dumps(manifest, indent=1) + "\n",
+        )
 
     # -- progress -------------------------------------------------------------
 
@@ -754,7 +792,7 @@ class GridRunner:
         workers = self._effective_workers(len(pending))
         if workers <= 1:
             for spec in pending:
-                result, seconds = _run_cell_timed(spec)
+                result, seconds = _run_cell_timed(spec, self._persist_dir)
                 self._record(spec, result, seconds, results, cell_seconds)
                 done, eta = progress.advance()
                 self._report(done, total, spec, seconds, started, resumed=False, eta=eta)
@@ -806,7 +844,8 @@ class GridRunner:
         done = progress.done_offset
         try:
             future_to_spec = {
-                executor.submit(_run_cell_timed, spec): spec for spec in pending
+                executor.submit(_run_cell_timed, spec, self._persist_dir): spec
+                for spec in pending
             }
             remaining = set(future_to_spec)
             # FIRST_COMPLETED keeps checkpoints and progress incremental: each
@@ -852,6 +891,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--artifact-dir", default=None)
+    parser.add_argument(
+        "--persist-dir",
+        default=None,
+        help="kill-safe mid-run persistence: each cell snapshots its full "
+        "state into a fingerprint-keyed subdirectory after every query "
+        "observation, and a killed sweep resumes every cell mid-run with a "
+        "bit-identical replay",
+    )
     parser.add_argument(
         "--edb-mode",
         default="fast",
@@ -923,7 +970,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         base_seed=args.seed,
     )
     runner = GridRunner(
-        n_workers=args.workers, artifact_dir=args.artifact_dir, progress=True
+        n_workers=args.workers,
+        artifact_dir=args.artifact_dir,
+        progress=True,
+        persist_dir=args.persist_dir,
     )
     outcome = runner.run(grid)
     for cell_id, result in outcome.results.items():

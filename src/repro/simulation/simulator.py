@@ -32,6 +32,10 @@ tables at every query time.  The original per-tick loop survives as
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -42,7 +46,7 @@ from repro.core.owner import Owner
 from repro.core.strategies.flush import FlushPolicy
 from repro.core.strategies.registry import make_strategy
 from repro.edb.base import EncryptedDatabase
-from repro.edb.records import Schema, make_dummy_record
+from repro.edb.records import Schema, SchemaDummyFactory
 from repro.engine import Engine
 from repro.fleet import Deployment
 from repro.query.ast import Query
@@ -157,32 +161,63 @@ class Simulation:
 
     # -- main entry points --------------------------------------------------------
 
-    def run(self) -> RunResult:
+    def run(
+        self,
+        persist_dir: str | os.PathLike | None = None,
+        persist_passphrase: str | None = None,
+    ) -> RunResult:
         """Execute the simulation on the event-driven engine.
 
         Owners are woken only at logical arrivals and at their strategies'
         :meth:`~repro.core.strategies.base.SyncStrategy.next_event` times;
         every skipped tick is a strategy no-op, so the result is identical to
         :meth:`run_legacy` at the same seed.
+
+        When ``persist_dir`` is given, the run writes a durable
+        :class:`~repro.edb.store.SnapshotStore` snapshot after every query
+        observation and, if a valid snapshot of the *same* configuration is
+        already present, resumes from it instead of starting over -- a killed
+        run replays bit-identically (answers, QET, aggregate and per-shard
+        update-pattern transcripts).  The store is cleared once the run
+        completes.  ``persist_passphrase`` seals the snapshots at rest.
+        Registered external table sources are not persisted (arbitrary
+        callables); re-registration is the caller's responsibility.
         """
-        ctx = self._build()
+        store = None
+        if persist_dir is not None:
+            from repro.edb.store import SnapshotStore
+
+            store = SnapshotStore(persist_dir, passphrase=persist_passphrase)
+        ctx, resume_time = self._build_or_resume(store)
         try:
             truth = ctx.analyst.truth_source
-            engine = Engine(ctx.horizon)
+            engine = Engine(ctx.horizon, start_time=resume_time)
             for stream, owner in ctx.owners.items():
                 engine.add_stream(
                     stream,
                     deliver=self._make_deliver(owner, truth),
                     arrivals=self._workloads[stream].arrivals(),
                     next_self_event=owner.strategy.next_event,
+                    resume_at=owner.current_time if resume_time else 0,
                 )
             if self._config.query_interval:
                 engine.add_periodic(
                     self._config.query_interval,
                     lambda time: self._observe(time, ctx),
                 )
+                if store is not None:
+                    # Registered after the observation periodic of the same
+                    # interval, so every snapshot already includes the query
+                    # trace of its own time unit.
+                    engine.add_periodic(
+                        self._config.query_interval,
+                        lambda time: self._persist(time, ctx, store),
+                    )
             engine.run()
-            return self._finalize(ctx)
+            result = self._finalize(ctx)
+            if store is not None:
+                store.clear()
+            return result
         finally:
             self._close_edb(ctx)
 
@@ -220,6 +255,100 @@ class Simulation:
         if close is not None:
             close()
 
+    # -- durability -----------------------------------------------------------------
+
+    def _config_signature(self) -> str:
+        """Fingerprint of everything a resumed run must share with the run
+        that wrote the snapshot (the grid runner's sorted-JSON scheme)."""
+        config = self._config
+        payload = {
+            "strategy": config.strategy,
+            "epsilon": config.epsilon,
+            "timer_period": config.timer_period,
+            "theta": config.theta,
+            "flush": [config.flush.interval, config.flush.size],
+            "query_interval": config.query_interval,
+            "horizon": config.horizon,
+            "seed": config.seed,
+            "streams": sorted(self._workloads),
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def _build_or_resume(self, store) -> tuple[_RunContext, int]:
+        """Resume from the newest valid snapshot, else build from scratch."""
+        if store is not None:
+            snapshot = store.load_latest()
+            if snapshot is not None:
+                return self._resume(snapshot)
+        return self._build(), 0
+
+    def _persist(self, time: int, ctx: _RunContext, store) -> None:
+        """Write one durable snapshot generation (fires after ``_observe``)."""
+        from repro.edb import store as edb_store
+
+        kind, blob = edb_store.snapshot_edb(ctx.edb)
+        blobs = {
+            "edb.pkl": blob,
+            "owners.pkl": pickle.dumps(
+                {name: owner.export_state() for name, owner in ctx.owners.items()}
+            ),
+            "truth.pkl": pickle.dumps(ctx.analyst.truth_source),
+            "observations.pkl": pickle.dumps(list(ctx.analyst.observations)),
+            "result.json": json.dumps(
+                ctx.result.to_dict(), sort_keys=True
+            ).encode("utf-8"),
+        }
+        store.save(
+            blobs,
+            {
+                "kind": "simulation",
+                "edb_kind": kind,
+                "time": time,
+                "horizon": ctx.horizon,
+                "members": list(ctx.owners),
+                "signature": self._config_signature(),
+            },
+        )
+
+    def _resume(self, snapshot) -> tuple[_RunContext, int]:
+        """Rebuild the run context from one :class:`EncryptedStore` snapshot."""
+        from repro.edb import store as edb_store
+
+        meta = snapshot.manifest()["meta"]
+        if meta.get("kind") != "simulation":
+            raise edb_store.StoreIntegrityError(
+                f"store at {snapshot.path} does not hold a simulation snapshot"
+            )
+        if meta.get("signature") != self._config_signature():
+            raise edb_store.StoreIntegrityError(
+                f"snapshot at {snapshot.path} was written by a different "
+                "simulation configuration"
+            )
+        edb = edb_store.restore_edb(meta["edb_kind"], snapshot.read_blob("edb.pkl"))
+        truth = pickle.loads(snapshot.read_blob("truth.pkl"))
+        deployment = Deployment(edb, truth_source=truth)
+        owner_states = pickle.loads(snapshot.read_blob("owners.pkl"))
+        for name in meta["members"]:
+            deployment._members[name] = Owner.from_state(owner_states[name], edb)
+        deployment._analyst._observations.extend(
+            pickle.loads(snapshot.read_blob("observations.pkl"))
+        )
+        deployment._started = True
+        result = RunResult.from_dict(
+            json.loads(snapshot.read_blob("result.json").decode("utf-8"))
+        )
+        ctx = _RunContext(
+            edb=edb,
+            analyst=deployment.analyst,
+            owners=deployment.owners,
+            deployment=deployment,
+            result=result,
+            queries=[q for q in self._queries if edb.supports(q)],
+            horizon=meta["horizon"],
+        )
+        return ctx, meta["time"]
+
     # -- construction ---------------------------------------------------------------
 
     def _build(self, incremental_truth: bool = True) -> _RunContext:
@@ -248,7 +377,7 @@ class Simulation:
             schema = self._schemas[stream]
             strategy = make_strategy(
                 config.strategy,
-                dummy_factory=lambda t, s=schema: make_dummy_record(s, t),
+                dummy_factory=SchemaDummyFactory(schema),
                 rng=np.random.default_rng(child),
                 epsilon=config.epsilon,
                 period=config.timer_period,

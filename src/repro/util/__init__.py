@@ -1,5 +1,10 @@
 """Small shared utilities that several subsystems depend on.
 
 Kept deliberately tiny: anything here is infrastructure (process management,
-platform probing) with no knowledge of the paper's domain objects.
+platform probing, crash-safe file writes) with no knowledge of the paper's
+domain objects.
 """
+
+from repro.util.io import atomic_write_bytes, atomic_write_text, fsync_directory
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_directory"]

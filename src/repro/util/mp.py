@@ -47,7 +47,9 @@ def usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+def attach_shared_memory(
+    name: str, untrack: bool = True
+) -> shared_memory.SharedMemory:
     """Attach to an existing named shared-memory segment without owning it.
 
     On Python >= 3.13 this is ``SharedMemory(name, track=False)``; on older
@@ -56,15 +58,22 @@ def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
     though the creating worker still owns it -- so the registration is
     undone immediately.  Either way the caller must :meth:`close` (never
     ``unlink``) the returned handle; unlinking is the creator's job.
+
+    Pass ``untrack=False`` when the *current* process created the segment:
+    attaching then re-registers a name the tracker already knows (a no-op),
+    and undoing it would cancel the creator's own registration -- losing the
+    crash backstop and making the creator's eventual ``unlink`` a double
+    unregister.
     """
     try:
         return shared_memory.SharedMemory(name=name, create=False, track=False)
     except TypeError:  # Python < 3.13: no track parameter
         segment = shared_memory.SharedMemory(name=name, create=False)
-        try:  # pragma: no cover - registry internals differ across versions
-            from multiprocessing import resource_tracker
+        if untrack:
+            try:  # pragma: no cover - registry internals differ across versions
+                from multiprocessing import resource_tracker
 
-            resource_tracker.unregister(segment._name, "shared_memory")
-        except Exception:
-            pass
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:
+                pass
         return segment

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 import os
 
 import numpy as np
@@ -29,9 +30,15 @@ def no_leaked_arena_segments():
     POSIX segment; leaking one would fill ``/dev/shm`` across CI runs.  Any
     test (or worker process) that creates shared arenas must release them --
     this fixture is the backstop that keeps that contract honest.
+
+    A ``gc.collect()`` runs before the final scan: arena cleanup is
+    ``weakref.finalize``-based, so a dropped-but-uncollected arena is not a
+    leak -- only a segment that survives both an explicit release *and* a
+    collection is.
     """
     before = _leaked_arena_segments()
     yield
+    gc.collect()
     leaked = [name for name in _leaked_arena_segments() if name not in before]
     assert not leaked, f"leaked shared-memory arena segments: {leaked}"
 

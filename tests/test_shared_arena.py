@@ -151,3 +151,50 @@ def test_shared_arena_release_is_idempotent():
     assert arena.generation >= 2
     arena.release()
     arena.release()
+
+
+def _segment_exists(name: str) -> bool:
+    import os
+
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+def test_dropped_arena_is_reaped_by_finalizer():
+    """An arena dropped without ``release()`` must not leak its segment.
+
+    Cleanup is ``weakref.finalize``-based (not ``__del__``), so it runs
+    deterministically at garbage collection and at interpreter exit even
+    when the arena is caught in a reference cycle.
+    """
+    import gc
+
+    arena = SharedCiphertextArena(initial_capacity=4)
+    RecordCipher(key=KEY).encrypt_many_into(_records(0, 10), arena)
+    segment_name = arena.segment_name
+    assert _segment_exists(segment_name)
+    # A reference cycle would defeat __del__-ordering; finalize is immune.
+    arena.cycle = arena
+    del arena
+    gc.collect()
+    assert not _segment_exists(segment_name)
+
+
+def test_attached_view_close_is_idempotent_and_finalized():
+    import gc
+
+    arena = SharedCiphertextArena(initial_capacity=4)
+    cipher = RecordCipher(key=KEY)
+    cipher.encrypt_many_into(_records(0, 4), arena)
+    try:
+        cache = ArenaSegmentCache()
+        view = cache.publish(arena.export_state())
+        assert len(view) == 4
+        cache.close()
+        cache.close()  # idempotent
+        assert len(view) == 0  # detached
+        # A view dropped without close() is finalized at collection.
+        dangling = cache.publish(arena.export_state())
+        del cache, dangling
+        gc.collect()
+    finally:
+        arena.release()
