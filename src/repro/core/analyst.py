@@ -105,7 +105,7 @@ class Analyst:
             Simulation time at which the query is posed.
         """
         result: QueryResult = self._edb.query(query, time=time)
-        truth = self._ground_truth(query, logical_tables)
+        truth = self._ground_truth(query, logical_tables, time)
         observation = AnalystObservation(
             time=time,
             query_name=query.name,
@@ -121,10 +121,11 @@ class Analyst:
         self,
         query: Query,
         logical_tables: LogicalTables | Callable[[], LogicalTables] | None,
+        time: int = 0,
     ) -> Answer:
         source = self._truth_source
         if source is not None and source.covers(query):
-            return source.answer(query)
+            return source.answer(query, time=time)
         tables = logical_tables() if callable(logical_tables) else logical_tables
         if tables is None:
             raise ValueError(
@@ -139,8 +140,8 @@ class Analyst:
             # First sight of a maintainable query: bootstrap from the current
             # logical state, then maintain deltas from here on.
             source.register(query, tables)
-            return source.answer(query)
-        return ground_truth(query, tables)
+            return source.answer(query, time=time)
+        return ground_truth(query, tables, time=time)
 
     def _covers_maintained_tables(self, query: Query) -> bool:
         restriction = self._maintained_tables

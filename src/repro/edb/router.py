@@ -64,7 +64,7 @@ from repro.edb.cost_model import CostModel, UnsupportedQueryError
 from repro.edb.leakage import LeakageClass, LeakageProfile, update_pattern_observables
 from repro.edb.records import Record
 from repro.edb.shard_worker import ShardWorkerClient
-from repro.query.ast import JoinCountQuery, Query
+from repro.query.ast import JoinCountQuery, MultiJoinCountQuery, Query
 from repro.query.planner import (
     QueryPlan,
     QueryPlanner,
@@ -76,9 +76,12 @@ from repro.query.scatter import (
     join_upper_bound,
     merge_grouped_counts,
     merge_partial_answers,
+    multi_join_count_from_histograms,
+    multi_join_probes,
     ordered_join_probes,
     scatter_map,
 )
+from repro.query.views import can_maintain
 from repro.util.mp import preferred_mp_context, usable_cpus
 
 __all__ = ["SHARD_EXECUTORS", "WallClockStats", "ShardRouter", "resolve_shard_executor"]
@@ -264,6 +267,12 @@ class ShardRouter:
             self, _release_router_resources, self._resources
         )
         self._ordinals: dict[str, int] = {}
+        #: Router-level registered view queries, in registration order.  For
+        #: joins the *shards* register the scatter probes instead (a join
+        #: over hash-partitioned sides has no shard-local view), so this list
+        #: is the only place the original join query is remembered.
+        self._view_queries: list[Query] = []
+        self._view_answering = True
         #: Partition metadata: per table, how many records were routed to
         #: each shard.  Maintained coordinator-side during partitioning (no
         #: extra shard round-trips), committed together with the staged
@@ -454,6 +463,8 @@ class ShardRouter:
                 )
             if isinstance(query, JoinCountQuery):
                 return self._gather_join(query, time)
+            if isinstance(query, MultiJoinCountQuery):
+                return self._gather_multi_join(query, time)
             results = self._map(
                 lambda shard: shard.query(query, time=time), self._shards
             )
@@ -521,12 +532,19 @@ class ShardRouter:
         # Shards holding none of a query's records still answer on an L-DP
         # back-end -- with a noise draw the gathered sum must include -- so
         # pruning is only sound where answers are exact.
+        executors = tuple(self._shards[0].query_executors)
+        if self._view_answering and self.views_cover(query):
+            # The maintained alternative is enumerated alongside the rescans
+            # so explain() shows what answering from view state would cost;
+            # the override hook can still force a rescan executor for
+            # differential testing.
+            executors = ("maintained",) + executors
         plan = self._planner.plan(
             query,
             shard_tables=self._planner_shard_tables(query),
             cost_model=self.cost_model,
             backend=self.scheme_name,
-            executors=self._shards[0].query_executors,
+            executors=executors,
             allow_pruning=self.leakage_profile.query_class is not LeakageClass.LDP,
         )
         started = _time.perf_counter()
@@ -544,6 +562,8 @@ class ShardRouter:
             return result
         if isinstance(query, JoinCountQuery):
             return self._gather_join(query, time, plan=plan)
+        if isinstance(query, MultiJoinCountQuery):
+            return self._gather_multi_join(query, time, plan=plan)
         results = self._map(
             lambda index: self._shards[index].query(
                 query, time=time, executor=chosen.executor
@@ -558,6 +578,100 @@ class ShardRouter:
             records_scanned=sum(r.records_scanned for r in results),
             noise_injected=any(r.noise_injected for r in results),
         )
+
+    # -- delta-maintained views ----------------------------------------------
+
+    def register_view(self, query: Query) -> bool:
+        """Register a delta-maintained view for ``query`` across the fleet.
+
+        With one shard the query registers verbatim.  With K > 1 the join
+        shapes have no shard-local view (hash-partitioned sides join across
+        shards), so every shard registers the *scatter probes* instead --
+        per-side key histograms the gather step already merges -- and the
+        router remembers the original query.  Returns ``False`` when the
+        query was already registered.
+        """
+        if not self.supports(query):
+            raise UnsupportedQueryError(
+                f"{self.scheme_name} does not support {type(query).__name__}"
+            )
+        if not can_maintain(query):
+            raise TypeError(
+                f"query shape {type(query).__name__} is not delta-maintainable"
+            )
+        if query in self._view_queries:
+            return False
+        try:
+            if len(self._shards) == 1:
+                self._shards[0].register_view(query)
+            else:
+                probes = self._shard_view_queries(query)
+                self._map(
+                    lambda shard: [shard.register_view(p) for p in probes],
+                    self._shards,
+                )
+        finally:
+            self._absorb_worker_stats()
+        self._view_queries.append(query)
+        return True
+
+    def _shard_view_queries(self, query: Query) -> tuple[Query, ...]:
+        """What each shard maintains for one router-level view query."""
+        if isinstance(query, JoinCountQuery):
+            return join_side_probes(query)
+        if isinstance(query, MultiJoinCountQuery):
+            return multi_join_probes(query)
+        return (query,)
+
+    def views_cover(self, query: Query) -> bool:
+        """Whether a registered router-level view answers ``query``."""
+        return query in self._view_queries
+
+    @property
+    def registered_views(self) -> tuple[Query, ...]:
+        """Router-level view queries, in registration order."""
+        return tuple(self._view_queries)
+
+    @property
+    def view_answering(self) -> bool:
+        """Whether registered views answer queries (else views only maintain)."""
+        return self._view_answering
+
+    def set_view_answering(self, enabled: bool) -> None:
+        """Toggle answering from maintained views, on every shard.
+
+        The differential-testing switch: with ``False`` every shard falls
+        back to its rescan path while views keep maintaining state, and the
+        gathered answers must be byte-identical either way.
+        """
+        enabled = bool(enabled)
+        self._view_answering = enabled
+        try:
+            self._map(
+                lambda shard: shard.set_view_answering(enabled), self._shards
+            )
+        finally:
+            self._absorb_worker_stats()
+
+    @property
+    def query_work_seconds(self) -> float:
+        """Simulated query-execution work summed across the shards."""
+        return sum(shard.query_work_seconds for shard in self._shards)
+
+    @property
+    def view_maintenance_seconds(self) -> float:
+        """Simulated view-upkeep work summed across the shards."""
+        return sum(shard.view_maintenance_seconds for shard in self._shards)
+
+    @property
+    def simulated_work_seconds(self) -> float:
+        """Total simulated server work (queries + view upkeep), all shards."""
+        return sum(shard.simulated_work_seconds for shard in self._shards)
+
+    @property
+    def maintained_query_count(self) -> int:
+        """Queries answered from maintained view state, summed over shards."""
+        return sum(shard.maintained_query_count for shard in self._shards)
 
     # -- observable state ----------------------------------------------------
 
@@ -783,6 +897,52 @@ class ShardRouter:
             plan.join_upper_bound = join_upper_bound(
                 merged_first, sum(self.table_shard_counts(second_table))
             )
+            plan.executed_qet_seconds = tuple(shard_qets)
+        return QueryResult(
+            query_name=query.name,
+            answer=answer,
+            qet_seconds=max(shard_qets),
+            records_scanned=scanned,
+            noise_injected=noise,
+        )
+
+    def _gather_multi_join(
+        self, query: MultiJoinCountQuery, time: int, plan: QueryPlan | None = None
+    ) -> QueryResult:
+        """Distributed multi-way star-join count via per-side key histograms.
+
+        The binary gather generalized: each shard answers one group-by probe
+        per join side (sequentially, so the per-shard QET is the probe sum),
+        the coordinator merges each side's histograms across shards and the
+        product-sum over the shared key is the exact star-join count.
+        """
+        if plan is None:
+            targets: Sequence[int] = range(len(self._shards))
+            executor: str | None = None
+        else:
+            targets = plan.chosen.shard_indices
+            executor = plan.chosen.executor
+        probes = multi_join_probes(query)
+        probe_rows = self._map(
+            lambda index: tuple(
+                self._shards[index].query(probe, time=time, executor=executor)
+                for probe in probes
+            ),
+            list(targets),
+        )
+        side_parts: list[list[Mapping]] = [[] for _ in probes]
+        shard_qets: list[float] = []
+        scanned = 0
+        noise = False
+        for results in probe_rows:
+            for side, result in enumerate(results):
+                side_parts[side].append(result.answer)
+            shard_qets.append(sum(result.qet_seconds for result in results))
+            scanned += sum(result.records_scanned for result in results)
+            noise = noise or any(result.noise_injected for result in results)
+        merged = [merge_grouped_counts(parts) for parts in side_parts]
+        answer = multi_join_count_from_histograms(merged)
+        if plan is not None:
             plan.executed_qet_seconds = tuple(shard_qets)
         return QueryResult(
             query_name=query.name,

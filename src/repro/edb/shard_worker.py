@@ -91,11 +91,17 @@ _READABLE_ATTRS = frozenset(
         "dummy_count",
         "real_count",
         "storage_bytes",
+        "registered_views",
+        "view_answering",
+        "query_work_seconds",
+        "view_maintenance_seconds",
+        "simulated_work_seconds",
+        "maintained_query_count",
     }
 )
 _CALLABLE_METHODS = frozenset(
     {"table_size", "table_dummy_count", "supports", "setup", "update",
-     "insert_many", "query"}
+     "insert_many", "query", "register_view", "set_view_answering"}
 )
 
 
@@ -308,6 +314,38 @@ class ShardWorkerClient:
 
     def supports(self, query: "Query") -> bool:
         return self._call("supports", query)
+
+    # -- delta-maintained views ------------------------------------------------
+
+    def register_view(self, query: "Query") -> bool:
+        return self._call("register_view", query)
+
+    def set_view_answering(self, enabled: bool) -> None:
+        self._call("set_view_answering", enabled)
+
+    @property
+    def registered_views(self) -> tuple:
+        return self._call("attr", "registered_views")
+
+    @property
+    def view_answering(self) -> bool:
+        return self._call("attr", "view_answering")
+
+    @property
+    def query_work_seconds(self) -> float:
+        return self._call("attr", "query_work_seconds")
+
+    @property
+    def view_maintenance_seconds(self) -> float:
+        return self._call("attr", "view_maintenance_seconds")
+
+    @property
+    def simulated_work_seconds(self) -> float:
+        return self._call("attr", "simulated_work_seconds")
+
+    @property
+    def maintained_query_count(self) -> int:
+        return self._call("attr", "maintained_query_count")
 
     # -- observable state ------------------------------------------------------
 

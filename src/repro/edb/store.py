@@ -503,9 +503,13 @@ def snapshot_backend(edb: "EncryptedDatabase") -> bytes:
     state = dict(edb.__dict__)
     arenas = state.pop("_arenas", {})
     state.pop("_arena_factory", None)
+    # Views are derived state: only the registered queries are persisted;
+    # restore re-registers them and bootstraps from the restored tables.
+    views = state.pop("_views", None)
     payload = {
         "class": f"{type(edb).__module__}:{type(edb).__qualname__}",
         "state": state,
+        "view_queries": tuple(views.registered()) if views is not None else (),
         "arenas": {
             table: arena_to_bytes(arena) for table, arena in arenas.items()
         },
@@ -544,6 +548,15 @@ def restore_backend(blob: bytes) -> "EncryptedDatabase":
                 f"ORAM position map for table {table!r} did not survive "
                 "the snapshot round trip"
             )
+    # Rebuild the derived view state: re-registration bootstraps each view
+    # from the restored executor tables, whose insertion order is exactly
+    # the pre-kill ingest order -- so the rebuilt counters (and their group
+    # key order) are bit-identical to the killed process's.
+    from repro.query.views import ViewRegistry
+
+    edb._views = ViewRegistry()
+    for query in payload.get("view_queries", ()):
+        edb.register_view(query)
     return edb
 
 
@@ -576,6 +589,8 @@ def snapshot_router(router: "ShardRouter") -> bytes:
             for table, counts in router._table_shard_counts.items()
         },
         "update_history": list(router._update_history),
+        "view_queries": list(router._view_queries),
+        "view_answering": router._view_answering,
         "shards": shard_blobs,
     }
     return pickle.dumps(payload)
@@ -606,6 +621,11 @@ def restore_router(blob: bytes) -> "ShardRouter":
         for table, counts in payload["table_shard_counts"].items()
     }
     router._update_history = list(payload["update_history"])
+    # Shard-level views were rebuilt inside restore_backend (each shard
+    # recorded its own registered probes), so only the router-level query
+    # list and answering flag are reinstated -- no re-fanout.
+    router._view_queries = list(payload.get("view_queries", ()))
+    router._view_answering = bool(payload.get("view_answering", True))
     return router
 
 

@@ -21,6 +21,7 @@ ground truth correct when a foreign table grows outside this deployment.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -37,6 +38,8 @@ from repro.query.incremental import IncrementalTruth
 from repro.query.sql import parse_query
 
 __all__ = ["Deployment"]
+
+logger = logging.getLogger(__name__)
 
 
 class Deployment:
@@ -61,6 +64,10 @@ class Deployment:
         self._truth = truth_source
         self._members: dict[str, Owner] = {}
         self._table_sources: dict[str, Callable[[], Sequence[Record]]] = {}
+        #: Source tables recorded in a restored snapshot but not yet
+        #: re-registered (sources are arbitrary callables the store cannot
+        #: persist).  Queries touching them raise until re-registration.
+        self._pending_table_sources: set[str] = set()
         self._analyst = Analyst(
             edb, truth_source=truth_source, maintained_tables=self._owned_tables
         )
@@ -150,6 +157,7 @@ class Deployment:
                 f"table {table!r} is already owned by this deployment"
             )
         self._table_sources[table] = source
+        self._pending_table_sources.discard(table)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -216,6 +224,9 @@ class Deployment:
                 "edb_kind": kind,
                 "started": self._started,
                 "members": list(self._members),
+                # Source tables are recorded by *name* so restore can demand
+                # their re-registration before join ground truth goes wrong.
+                "table_sources": sorted(self._table_sources),
             }
         )
 
@@ -249,6 +260,20 @@ class Deployment:
             pickle.loads(store.read_blob("observations.pkl"))
         )
         deployment._started = meta["started"]
+        pending = set(meta.get("table_sources", ()))
+        if pending:
+            # Sources are arbitrary callables the snapshot cannot carry; warn
+            # immediately, and refuse (in query()) to compute ground truth
+            # over the affected tables until they are re-registered --
+            # silently missing a source table would freeze part of the join
+            # ground truth without any error.
+            deployment._pending_table_sources = pending
+            logger.warning(
+                "restored deployment recorded external table sources %s; "
+                "re-register them with register_table_source() before "
+                "querying their tables",
+                sorted(pending),
+            )
         return deployment
 
     def receive(
@@ -268,6 +293,14 @@ class Deployment:
         if not self._started:
             raise RuntimeError("call start() before query()")
         parsed = parse_query(query) if isinstance(query, str) else query
+        missing = self._pending_table_sources.intersection(parsed.tables)
+        if missing:
+            raise RuntimeError(
+                f"query {parsed.name!r} touches restored table source(s) "
+                f"{sorted(missing)} that were not re-registered after "
+                "restore; call register_table_source() for each (ground "
+                "truth would silently miss their records otherwise)"
+            )
         at = time if time is not None else self.current_time
         return self._analyst.query(parsed, self.logical_tables, time=at)
 

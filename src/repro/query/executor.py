@@ -35,6 +35,7 @@ from repro.query.ast import (
     ProjectNode,
     Query,
     ScanNode,
+    WindowedCountQuery,
 )
 from repro.query.rewriter import rewrite_for_dummies
 
@@ -97,19 +98,26 @@ class PlaintextExecutor:
             self._plan_cache[(query, rewrite)] = plan
         return plan
 
-    def execute(self, query: Query, rewrite: bool = False) -> Answer:
+    def execute(self, query: Query, rewrite: bool = False, time: int = 0) -> Answer:
         """Execute ``query``, optionally applying dummy-aware rewriting."""
-        answer, _ = self.execute_plan(self._plan_for(query, rewrite))
+        answer, _ = self.execute_with_stats(query, rewrite, time=time)
         return answer
 
     def execute_with_stats(
-        self, query: Query, rewrite: bool = False
+        self, query: Query, rewrite: bool = False, time: int = 0
     ) -> tuple[Answer, ExecutionStats]:
-        """Execute ``query`` and return the answer plus work counters."""
-        return self.execute_plan(self._plan_for(query, rewrite))
+        """Execute ``query`` and return the answer plus work counters.
+
+        ``time`` only matters for windowed queries, whose answer is relative
+        to the query time; every other shape ignores it.
+        """
+        if isinstance(query, WindowedCountQuery):
+            return self._execute_windowed(query, rewrite, time)
+        answer, stats = self.execute_plan(self._plan_for(query, rewrite))
+        return query.finalize_answer(answer), stats
 
     def execute_rows_with_stats(
-        self, query: Query, rewrite: bool = False
+        self, query: Query, rewrite: bool = False, time: int = 0
     ) -> tuple[Answer, ExecutionStats]:
         """Execute ``query`` with the row-at-a-time interpreter.
 
@@ -118,7 +126,38 @@ class PlaintextExecutor:
         the row mirror instead -- the planner's ``"rows"`` executor choice.
         Answers and stats are identical either way; only wall clock moves.
         """
-        return PlaintextExecutor.execute_plan(self, self._plan_for(query, rewrite))
+        if isinstance(query, WindowedCountQuery):
+            # The window oracle is already a row loop; there is no vectorized
+            # variant to force away from.
+            return self._execute_windowed(query, rewrite, time)
+        answer, stats = PlaintextExecutor.execute_plan(
+            self, self._plan_for(query, rewrite)
+        )
+        return query.finalize_answer(answer), stats
+
+    def _execute_windowed(
+        self, query: WindowedCountQuery, rewrite: bool, time: int
+    ) -> tuple[Answer, ExecutionStats]:
+        """Reference rescan for windowed counts (the differential oracle).
+
+        Window membership tests ``arrival_time``, which predicates cannot
+        see (they evaluate over ``values``), so the window filter is applied
+        directly here rather than lowered to a plan.  ``rewrite`` plays the
+        same role as dummy-aware plan rewriting: skip dummy rows when
+        scanning outsourced tables.
+        """
+        stats = ExecutionStats()
+        rows = self.tables.get(query.table, [])
+        stats.rows_scanned = len(rows)
+        start, end = query.window_bounds(time)
+        count = 0
+        for row in rows:
+            if rewrite and row.is_dummy:
+                continue
+            if start < row.arrival_time <= end and query.predicate.evaluate(row):
+                count += 1
+        stats.rows_output = count
+        return count, stats
 
     def execute_plan(self, plan: PlanNode) -> tuple[Answer, ExecutionStats]:
         """Interpret a plan; returns (answer, stats)."""
@@ -224,10 +263,15 @@ def execute_plan(
     return answer
 
 
-def ground_truth(query: Query, tables: Mapping[str, Sequence[Record]]) -> Answer:
-    """The true answer of ``query`` over the logical (plaintext) database."""
+def ground_truth(
+    query: Query, tables: Mapping[str, Sequence[Record]], time: int = 0
+) -> Answer:
+    """The true answer of ``query`` over the logical (plaintext) database.
+
+    ``time`` is the query time, required for windowed queries.
+    """
     executor = PlaintextExecutor({name: list(rows) for name, rows in tables.items()})
-    return executor.execute(query, rewrite=False)
+    return executor.execute(query, rewrite=False, time=time)
 
 
 def answer_l1_distance(lhs: Answer, rhs: Answer) -> float:

@@ -9,115 +9,31 @@ instead -- the classic incremental-view-maintenance move (cf. the
 FO+MOD-under-updates line of work): each arriving record contributes an
 O(1) delta to every registered aggregate.
 
-Supported query shapes (everything the paper's workloads use):
-
-* :class:`~repro.query.ast.CountQuery` -- running count of records
-  satisfying the predicate;
-* :class:`~repro.query.ast.GroupByCountQuery` -- running per-group counts;
-* :class:`~repro.query.ast.JoinCountQuery` -- running join-pair count,
-  maintained via per-side key counters (inserting ``r`` into the left side
-  adds ``right_counts[key(r)]`` pairs, and symmetrically).
+The maintained state classes live in :mod:`repro.query.views` and are
+*shared* with the server-side :class:`~repro.query.views.ViewRegistry`, so
+the analyst-side ground truth and the EDB's delta-maintained views cover the
+identical fragment through one :func:`~repro.query.views.can_maintain`
+predicate -- count, group-by count, binary join count, modulo/parity count,
+multi-way star-join count, and windowed counts (which take the query time as
+an :meth:`IncrementalTruth.answer` argument).
 
 The maintained answers are *exactly* equal to a from-scratch rescan: all
 arithmetic is integer and the per-group dict accumulates keys in first-seen
 order, matching the executor's scan order over append-only logical tables.
-Queries outside these shapes are simply not covered and callers fall back
+Queries outside the fragment are simply not covered and callers fall back
 to :func:`repro.query.executor.ground_truth`.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Iterable, Mapping, Sequence
 
 from repro.edb.records import Record
-from repro.query.ast import CountQuery, GroupByCountQuery, JoinCountQuery, Query
+from repro.query.ast import Query
 from repro.query.executor import Answer
+from repro.query.views import ViewRegistry, can_maintain
 
 __all__ = ["IncrementalTruth"]
-
-
-class _CountState:
-    """Running ``SELECT COUNT(*) FROM table WHERE predicate``."""
-
-    def __init__(self, query: CountQuery) -> None:
-        self._table = query.table
-        self._predicate = query.predicate
-        self._count = 0
-
-    def insert(self, table: str, record: Record) -> None:
-        if table == self._table and self._predicate.evaluate(record):
-            self._count += 1
-
-    def answer(self) -> Answer:
-        return self._count
-
-
-class _GroupByCountState:
-    """Running ``SELECT g, COUNT(*) FROM table WHERE p GROUP BY g``."""
-
-    def __init__(self, query: GroupByCountQuery) -> None:
-        self._table = query.table
-        self._predicate = query.predicate
-        self._group_attribute = query.group_attribute
-        self._counts: Counter = Counter()
-
-    def insert(self, table: str, record: Record) -> None:
-        if table == self._table and self._predicate.evaluate(record):
-            self._counts[record.get(self._group_attribute)] += 1
-
-    def answer(self) -> Answer:
-        return dict(self._counts)
-
-
-class _JoinCountState:
-    """Running ``SELECT COUNT(*) FROM L JOIN R ON L.a = R.b``.
-
-    ``answer = sum_k left_counts[k] * right_counts[k]`` is maintained under
-    insertion: a record joining key ``k`` on one side contributes the other
-    side's current multiplicity of ``k`` (plus one self-pair when both sides
-    are the same table).
-    """
-
-    def __init__(self, query: JoinCountQuery) -> None:
-        self._left_table = query.left_table
-        self._right_table = query.right_table
-        self._left_attribute = query.left_attribute
-        self._right_attribute = query.right_attribute
-        self._left_predicate = query.left_predicate
-        self._right_predicate = query.right_predicate
-        self._left_counts: Counter = Counter()
-        self._right_counts: Counter = Counter()
-        self._pairs = 0
-
-    def insert(self, table: str, record: Record) -> None:
-        in_left = table == self._left_table and self._left_predicate.evaluate(record)
-        in_right = table == self._right_table and self._right_predicate.evaluate(record)
-        if not in_left and not in_right:
-            return
-        left_key = record.get(self._left_attribute) if in_left else None
-        right_key = record.get(self._right_attribute) if in_right else None
-        if in_left:
-            self._pairs += self._right_counts[left_key]
-        if in_right:
-            self._pairs += self._left_counts[right_key]
-        if in_left and in_right and left_key == right_key:
-            # Self-join: the record also pairs with itself.
-            self._pairs += 1
-        if in_left:
-            self._left_counts[left_key] += 1
-        if in_right:
-            self._right_counts[right_key] += 1
-
-    def answer(self) -> Answer:
-        return self._pairs
-
-
-_STATE_TYPES = {
-    CountQuery: _CountState,
-    GroupByCountQuery: _GroupByCountState,
-    JoinCountQuery: _JoinCountState,
-}
 
 
 class IncrementalTruth:
@@ -130,16 +46,16 @@ class IncrementalTruth:
     """
 
     def __init__(self) -> None:
-        self._states: dict[Query, object] = {}
+        self._registry = ViewRegistry()
 
     @staticmethod
     def can_maintain(query: Query) -> bool:
         """Whether the query's shape has an incremental maintenance rule."""
-        return type(query) in _STATE_TYPES
+        return can_maintain(query)
 
     def covers(self, query: Query) -> bool:
         """Whether the query is registered (and hence answerable in O(1))."""
-        return query in self._states
+        return self._registry.covers(query)
 
     def register(
         self,
@@ -152,35 +68,22 @@ class IncrementalTruth:
         registration (pass the current logical tables); omit it when
         registering before any ingest.
         """
-        if query in self._states:
-            return
-        state_type = _STATE_TYPES.get(type(query))
-        if state_type is None:
-            raise TypeError(
-                f"no incremental maintenance rule for {type(query).__name__}"
-            )
-        state = state_type(query)
-        if tables:
-            for table, records in tables.items():
-                for record in records:
-                    state.insert(table, record)
-        self._states[query] = state
+        self._registry.register(query, tables)
 
     def ingest(self, table: str, records: Iterable[Record]) -> None:
         """Apply a batch of inserted records to every registered aggregate."""
-        states = list(self._states.values())
-        for record in records:
-            for state in states:
-                state.insert(table, record)
+        self._registry.apply_delta(table, records)
 
     def ingest_one(self, table: str, record: Record) -> None:
         """Apply one inserted record to every registered aggregate."""
-        for state in self._states.values():
-            state.insert(table, record)
+        self._registry.apply_delta(table, (record,))
 
-    def answer(self, query: Query) -> Answer:
-        """The maintained ground-truth answer of a registered query."""
-        state = self._states.get(query)
-        if state is None:
+    def answer(self, query: Query, time: int | None = None) -> Answer:
+        """The maintained ground-truth answer of a registered query.
+
+        ``time`` is required for windowed queries (their answer is relative
+        to the query time) and ignored by every other shape.
+        """
+        if not self._registry.covers(query):
             raise KeyError(f"query {query.name!r} is not registered")
-        return state.answer()
+        return self._registry.answer(query, time)

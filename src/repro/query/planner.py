@@ -40,8 +40,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
-from repro.query.ast import JoinCountQuery, Query
-from repro.query.scatter import join_side_probes
+from repro.query.ast import JoinCountQuery, MultiJoinCountQuery, Query
+from repro.query.scatter import join_side_probes, multi_join_probes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.edb.cost_model import CostModel
@@ -75,6 +75,8 @@ def query_shape(query: Query) -> str:
     """Coarse query shape used as a calibration key component."""
     if isinstance(query, JoinCountQuery):
         return "join-count"
+    if isinstance(query, MultiJoinCountQuery):
+        return "multi-join-count"
     kind = getattr(query, "kind", None)
     return getattr(kind, "value", None) or type(query).__name__.lower()
 
@@ -304,8 +306,13 @@ class QueryPlanner:
         shape = query_shape(query)
         alternatives: list[PlanAlternative] = []
         for set_name, indices in shard_sets:
-            works = self._work(query, indices, shard_tables, cost_model)
+            rescan_works = self._work(query, indices, shard_tables, cost_model)
             for executor in executors:
+                works = (
+                    self._maintained_work(query, indices, cost_model)
+                    if executor == "maintained"
+                    else rescan_works
+                )
                 key = (shape, backend, executor)
                 for first_side in first_sides:
                     label = f"{set_name}/{executor}"
@@ -352,16 +359,38 @@ class QueryPlanner:
         shards actually execute -- not the quadratic single-machine join.
         """
         if isinstance(query, JoinCountQuery):
-            probes = join_side_probes(query)
+            probes: "tuple[Query, ...]" = join_side_probes(query)
+        elif isinstance(query, MultiJoinCountQuery):
+            probes = multi_join_probes(query)
+        else:
             return sum(
-                cost_model.query_cost(probe, dict(shard_tables[index]))
+                cost_model.query_cost(query, dict(shard_tables[index]))
                 for index in indices
-                for probe in probes
             )
         return sum(
-            cost_model.query_cost(query, dict(shard_tables[index]))
+            cost_model.query_cost(probe, dict(shard_tables[index]))
             for index in indices
+            for probe in probes
         )
+
+    def _maintained_work(
+        self,
+        query: Query,
+        indices: Sequence[int],
+        cost_model: "CostModel",
+    ) -> float:
+        """Simulated work of answering from maintained view state instead.
+
+        Each touched shard emits its maintained answer (one emission per
+        scatter probe for the join shapes) -- the per-query protocol base
+        survives, the per-record scan work disappears.
+        """
+        probes = 1
+        if isinstance(query, JoinCountQuery):
+            probes = 2
+        elif isinstance(query, MultiJoinCountQuery):
+            probes = len(query.join_tables)
+        return len(indices) * probes * cost_model.maintained_query_cost(query)
 
     def _probe_orders(
         self, query: JoinCountQuery, shard_tables: Sequence[Mapping[str, int]]

@@ -36,7 +36,13 @@ from __future__ import annotations
 
 from typing import Callable, Mapping, Sequence, TypeVar
 
-from repro.query.ast import GroupByCountQuery, JoinCountQuery, Query
+from repro.query.ast import (
+    GroupByCountQuery,
+    JoinCountQuery,
+    ModCountQuery,
+    MultiJoinCountQuery,
+    Query,
+)
 
 __all__ = [
     "merge_scalar_counts",
@@ -45,6 +51,8 @@ __all__ = [
     "join_count_from_histograms",
     "join_side_probes",
     "join_upper_bound",
+    "multi_join_count_from_histograms",
+    "multi_join_probes",
     "ordered_join_probes",
     "scatter_map",
 ]
@@ -105,13 +113,18 @@ def merge_partial_answers(query: Query, parts: Sequence) -> "int | float | dict"
     (:func:`join_side_probes`) whose merged histograms feed
     :func:`join_count_from_histograms`.
     """
-    if isinstance(query, JoinCountQuery):
+    if isinstance(query, (JoinCountQuery, MultiJoinCountQuery)):
         raise TypeError(
             "join counts are gathered from per-side histograms, not merged "
             "per-shard answers"
         )
     if isinstance(query, GroupByCountQuery):
         return merge_grouped_counts(parts)
+    if isinstance(query, ModCountQuery):
+        # Sum-then-re-mod is the valid homomorphism for modular counts:
+        # (a mod m + b mod m) mod m == (a + b) mod m.  Noisy (L-DP) partials
+        # stay deterministic under the same rule.
+        return merge_scalar_counts(parts) % query.modulus
     return merge_scalar_counts(parts)
 
 
@@ -171,6 +184,53 @@ def ordered_join_probes(
     if first_side == "left":
         return (left, "left"), (right, "right")
     return (right, "right"), (left, "left")
+
+
+def multi_join_probes(query: MultiJoinCountQuery) -> tuple[GroupByCountQuery, ...]:
+    """The per-shard probe queries a multi-way star join scatters into.
+
+    One group-by-count probe per join side over that side's key attribute;
+    the merged histograms feed :func:`multi_join_count_from_histograms`.
+    Probes are labelled by side index so their QET ledger entries stay
+    distinguishable.
+    """
+    return tuple(
+        GroupByCountQuery(
+            table=table,
+            group_attribute=attribute,
+            predicate=predicate,
+            label=f"{query.name}/scatter-{index}",
+        )
+        for index, (table, attribute, predicate) in enumerate(query.sides())
+    )
+
+
+def multi_join_count_from_histograms(
+    histograms: Sequence[Mapping],
+) -> "int | float":
+    """Star-join count from global per-side histograms: ``sum_k prod_i H_i[k]``.
+
+    Iterating the smallest histogram's keys keeps the merge
+    ``O(min_i |H_i| * m)`` regardless of shard count.  Like the binary case,
+    integral histograms yield an ``int`` and unrounded DP noise propagates as
+    a ``float``.
+    """
+    if not histograms:
+        raise ValueError("at least one histogram is required")
+    base_index = min(range(len(histograms)), key=lambda i: len(histograms[i]))
+    base = histograms[base_index]
+    others = [h for i, h in enumerate(histograms) if i != base_index]
+    total: "int | float" = 0
+    for key, count in base.items():
+        product = count
+        for histogram in others:
+            value = histogram.get(key, 0)
+            if not value:
+                product = 0
+                break
+            product *= value
+        total += product
+    return total
 
 
 def join_upper_bound(

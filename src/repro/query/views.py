@@ -1,0 +1,400 @@
+"""Delta-maintained query views for the covered aggregation fragment.
+
+Every synchronization point used to answer the analyst's test queries by
+rescanning the encrypted tables -- an ``O(|D_t|)`` pass per query per sync
+even though the answer changes only by the delta since the last sync.
+Berkholz et al. (PAPERS.md, "Answering FO+MOD queries under updates") show
+this fragment can be maintained under insertions with constant update time;
+this module is that machinery, shared by two consumers:
+
+* **Server-side views** (:class:`ViewRegistry`): registered on an
+  :class:`~repro.edb.base.EncryptedDatabase` (and fanned out across shards by
+  the :class:`~repro.edb.router.ShardRouter`), fed an ``O(|batch|)`` delta by
+  every ``insert_many`` and answering registered queries in ``O(1)`` /
+  ``O(groups)``.
+* **Analyst-side ground truth** (:class:`~repro.query.incremental
+  .IncrementalTruth`): the same state classes maintain the logical-table
+  answers, so truth and EDB views cover the *identical* fragment through the
+  shared :func:`can_maintain` predicate.
+
+Covered fragment: scalar count, group-by count, binary join count, modulo /
+parity count (FO+MOD), multi-way star-join count (the q-hierarchical class
+with O(1) insert deltas, via cascaded per-side key histograms), and windowed
+counts (sliding + tumbling, via a ring buffer of per-tick bucket sums).
+
+Two invariants matter for the paper's observables:
+
+* States skip dummy records, so a maintained group dict acquires keys in the
+  same first-appearance order as the dummy-rewritten scan -- CryptEpsilon
+  draws its per-group Laplace noise in dict iteration order, so the noise
+  stream is untouched.  (Analyst-side logical streams carry no dummies, so
+  the skip is a no-op there.)
+* Views observe *post-flush EDB state only* -- they are fed from
+  ``insert_many``, never from the owner's raw stream -- so the ``(t,|gamma|)``
+  update-pattern transcript is byte-identical with views on or off.
+
+Views are **derived state**: the durable store never persists them; restore
+re-registers every recorded query and bootstraps from the restored executor
+tables (deterministic, because bootstrap order is table insertion order).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from repro.query.ast import (
+    CountQuery,
+    GroupByCountQuery,
+    JoinCountQuery,
+    ModCountQuery,
+    MultiJoinCountQuery,
+    Query,
+    WindowedCountQuery,
+)
+from repro.query.executor import Answer
+
+__all__ = [
+    "StaleWindowError",
+    "can_maintain",
+    "maintained_shapes",
+    "make_state",
+    "ViewRegistry",
+]
+
+
+class StaleWindowError(ValueError):
+    """A windowed view was asked about a window older than its retained
+    horizon (query time behind the newest ingested arrival tick).  The ring
+    buffer holds only the newest ``window`` ticks, so such a query cannot be
+    answered exactly from maintained state; callers fall back to the rescan
+    oracle, which is observable-identical."""
+
+
+# ---------------------------------------------------------------------------
+# Maintained state, one class per query shape
+# ---------------------------------------------------------------------------
+
+
+class _CountState:
+    """Maintains ``SELECT COUNT(*) FROM t WHERE p``."""
+
+    def __init__(self, query: CountQuery) -> None:
+        self._query = query
+        self._count = 0
+
+    def insert(self, table: str, record) -> None:
+        if table != self._query.table or record.is_dummy:
+            return
+        if self._query.predicate.evaluate(record):
+            self._count += 1
+
+    def answer(self, time: int | None = None) -> Answer:
+        return self._count
+
+
+class _ModCountState:
+    """Maintains ``SELECT COUNT(*) % m FROM t WHERE p`` (FO+MOD counting).
+
+    The running count is kept reduced -- the whole point of the fragment is
+    that the maintained state is O(1), independent of the database.
+    """
+
+    def __init__(self, query: ModCountQuery) -> None:
+        self._query = query
+        self._count = 0
+
+    def insert(self, table: str, record) -> None:
+        if table != self._query.table or record.is_dummy:
+            return
+        if self._query.predicate.evaluate(record):
+            self._count = (self._count + 1) % self._query.modulus
+
+    def answer(self, time: int | None = None) -> Answer:
+        return self._count % self._query.modulus
+
+
+class _GroupByCountState:
+    """Maintains ``SELECT g, COUNT(*) FROM t WHERE p GROUP BY g``.
+
+    The Counter acquires keys in insertion (= scan first-appearance) order,
+    which pins CryptEpsilon's per-group noise-draw order.
+    """
+
+    def __init__(self, query: GroupByCountQuery) -> None:
+        self._query = query
+        self._groups: Counter = Counter()
+
+    def insert(self, table: str, record) -> None:
+        if table != self._query.table or record.is_dummy:
+            return
+        if self._query.predicate.evaluate(record):
+            self._groups[record.get(self._query.group_attribute)] += 1
+
+    def answer(self, time: int | None = None) -> Answer:
+        return dict(self._groups)
+
+
+class _JoinCountState:
+    """Maintains a binary join count via per-side key histograms.
+
+    Inserting a left row with key ``k`` adds ``H_right[k]`` join pairs (and
+    symmetrically); a self-join row matching both sides on the same key also
+    pairs with itself.
+    """
+
+    def __init__(self, query: JoinCountQuery) -> None:
+        self._query = query
+        self._left: Counter = Counter()
+        self._right: Counter = Counter()
+        self._pairs = 0
+
+    def insert(self, table: str, record) -> None:
+        query = self._query
+        if record.is_dummy:
+            return
+        in_left = table == query.left_table and query.left_predicate.evaluate(
+            record
+        )
+        in_right = table == query.right_table and query.right_predicate.evaluate(
+            record
+        )
+        if not in_left and not in_right:
+            return
+        left_key = record.get(query.left_attribute) if in_left else None
+        right_key = record.get(query.right_attribute) if in_right else None
+        if in_left:
+            self._pairs += self._right[left_key]
+        if in_right:
+            self._pairs += self._left[right_key]
+        if in_left and in_right and left_key == right_key:
+            # The record joins with itself once.
+            self._pairs += 1
+        if in_left:
+            self._left[left_key] += 1
+        if in_right:
+            self._right[right_key] += 1
+
+    def answer(self, time: int | None = None) -> Answer:
+        return self._pairs
+
+
+class _MultiJoinCountState:
+    """Maintains a star-join count via one key histogram per join side.
+
+    The count is ``sum_k prod_i H_i[k]``; the insert delta telescopes the
+    product one side at a time (sides already updated for this record use
+    their *new* histogram, later sides their old one), which stays exact even
+    when one record matches several sides of the same star.
+    """
+
+    def __init__(self, query: MultiJoinCountQuery) -> None:
+        self._query = query
+        self._sides: list[Counter] = [Counter() for _ in query.join_tables]
+        self._pairs = 0
+
+    def insert(self, table: str, record) -> None:
+        if record.is_dummy:
+            return
+        for index, (side_table, attribute, predicate) in enumerate(
+            self._query.sides()
+        ):
+            if table != side_table or not predicate.evaluate(record):
+                continue
+            key = record.get(attribute)
+            delta = 1
+            for other_index, histogram in enumerate(self._sides):
+                if other_index == index:
+                    continue
+                delta *= histogram[key]
+                if not delta:
+                    break
+            self._pairs += delta
+            self._sides[index][key] += 1
+
+    def answer(self, time: int | None = None) -> Answer:
+        return self._pairs
+
+
+class _WindowedCountState:
+    """Maintains a windowed count via a ring buffer of per-tick bucket sums.
+
+    Slot ``tick % window`` holds the filtered count of arrivals at ``tick``;
+    a newer arrival landing on an occupied slot evicts a bucket that is at
+    least ``window`` ticks older, which no later (monotone-time) query window
+    can contain, so answers stay exact.  ``answer`` sums the <= ``window``
+    live buckets inside the query's window bounds -- O(window), independent
+    of the database size.
+    """
+
+    def __init__(self, query: WindowedCountQuery) -> None:
+        self._query = query
+        self._counts = [0] * query.window
+        self._ticks: list[int | None] = [None] * query.window
+        self._max_tick: int | None = None
+
+    def insert(self, table: str, record) -> None:
+        query = self._query
+        if table != query.table or record.is_dummy:
+            return
+        if not query.predicate.evaluate(record):
+            return
+        tick = record.arrival_time
+        slot = tick % query.window
+        held = self._ticks[slot]
+        if held is not None and held > tick:
+            # Out-of-order arrival older than the retained horizon: it can
+            # never fall inside a window queried at or after the newer tick.
+            return
+        if held != tick:
+            self._ticks[slot] = tick
+            self._counts[slot] = 0
+        self._counts[slot] += 1
+        if self._max_tick is None or tick > self._max_tick:
+            self._max_tick = tick
+
+    def answer(self, time: int | None = None) -> Answer:
+        if time is None:
+            raise ValueError(
+                f"windowed query {self._query.name!r} needs a query time"
+            )
+        if self._max_tick is not None and time < self._max_tick:
+            # The ring retains only the newest `window` ticks; a window
+            # ending before the newest ingested arrival may reach evicted
+            # buckets.  (Never hit under the simulator's monotone clock,
+            # where queries at time t only follow arrivals <= t.)
+            raise StaleWindowError(
+                f"windowed query {self._query.name!r} asked at time {time} "
+                f"behind the retained horizon (newest tick {self._max_tick})"
+            )
+        start, end = self._query.window_bounds(time)
+        total = 0
+        for slot, tick in enumerate(self._ticks):
+            if tick is not None and start < tick <= end:
+                total += self._counts[slot]
+        return total
+
+
+_STATE_TYPES = {
+    CountQuery: _CountState,
+    ModCountQuery: _ModCountState,
+    GroupByCountQuery: _GroupByCountState,
+    JoinCountQuery: _JoinCountState,
+    MultiJoinCountQuery: _MultiJoinCountState,
+    WindowedCountQuery: _WindowedCountState,
+}
+
+
+def can_maintain(query: Query) -> bool:
+    """Whether ``query`` belongs to the delta-maintainable fragment.
+
+    The *single* coverage predicate: both the server-side
+    :class:`ViewRegistry` and the analyst-side
+    :class:`~repro.query.incremental.IncrementalTruth` delegate here, so the
+    two sides can never drift.
+    """
+    return type(query) in _STATE_TYPES
+
+
+def maintained_shapes() -> tuple[type, ...]:
+    """The query classes of the maintainable fragment."""
+    return tuple(_STATE_TYPES)
+
+
+def make_state(query: Query):
+    """Fresh maintained state for one query (raises for uncovered shapes)."""
+    try:
+        state_type = _STATE_TYPES[type(query)]
+    except KeyError:
+        raise TypeError(
+            f"query shape {type(query).__name__} is not delta-maintainable"
+        ) from None
+    return state_type(query)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class ViewRegistry:
+    """A set of delta-maintained views keyed by their defining query.
+
+    ``register`` bootstraps a view from the current table contents (in table
+    insertion order, so bootstrap and incremental maintenance produce the
+    same group orders); ``apply_delta`` feeds one post-flush batch to every
+    view observing the batch's table; ``answer`` reads the maintained state.
+    """
+
+    def __init__(self) -> None:
+        self._states: dict[Query, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __bool__(self) -> bool:
+        return bool(self._states)
+
+    @staticmethod
+    def can_maintain(query: Query) -> bool:
+        return can_maintain(query)
+
+    def covers(self, query: Query) -> bool:
+        """Whether ``query`` is registered (maintained state exists)."""
+        return query in self._states
+
+    def registered(self) -> tuple[Query, ...]:
+        """The registered queries, in registration order."""
+        return tuple(self._states)
+
+    def register(
+        self,
+        query: Query,
+        tables: Mapping[str, Sequence] | None = None,
+    ) -> bool:
+        """Register ``query``, bootstrapping from ``tables`` when given.
+
+        Returns ``False`` (and leaves existing state untouched) when the
+        query is already registered, making registration idempotent across
+        restore / re-setup paths.
+        """
+        if query in self._states:
+            return False
+        state = make_state(query)
+        if tables:
+            for table in query.tables:
+                for record in tables.get(table, ()):
+                    state.insert(table, record)
+        self._states[query] = state
+        return True
+
+    def apply_delta(self, table: str, records: Iterable) -> int:
+        """Feed one batch of ``table`` rows to every observing view.
+
+        Returns the number of views that observe ``table`` (the cost model
+        charges maintenance per view per record).
+        """
+        observers = [
+            state
+            for query, state in self._states.items()
+            if table in query.tables
+        ]
+        if observers:
+            for record in records:
+                for state in observers:
+                    state.insert(table, record)
+        return len(observers)
+
+    def views_on(self, table: str) -> int:
+        """Number of registered views observing ``table``."""
+        return sum(1 for query in self._states if table in query.tables)
+
+    def answer(self, query: Query, time: int | None = None) -> Answer:
+        """The maintained answer for a registered query."""
+        try:
+            state = self._states[query]
+        except KeyError:
+            raise KeyError(
+                f"query {query.name!r} has no registered view"
+            ) from None
+        return state.answer(time)

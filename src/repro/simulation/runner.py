@@ -56,7 +56,7 @@ from repro.edb.crypte import CryptEpsilon
 from repro.edb.oblidb import ObliDB
 from repro.edb.router import ShardRouter, resolve_shard_executor
 from repro.query.planner import resolve_planner_mode
-from repro.query.ast import JoinCountQuery, Query
+from repro.query.ast import JoinCountQuery, MultiJoinCountQuery, Query
 from repro.simulation.results import RunResult
 from repro.simulation.simulator import Simulation, SimulationConfig, derive_schema
 from repro.util.io import atomic_write_text
@@ -213,7 +213,11 @@ class CellSpec:
     ``planner`` turns the cost-based scatter planner on for sharded cells
     (``"off"`` by default -- today's always-fan-out behaviour; ``"on"``
     enables observable-identical shard pruning / executor choice / join
-    probe ordering, see :mod:`repro.query.planner`), and
+    probe ordering, see :mod:`repro.query.planner`),
+    ``views`` registers every maintainable evaluation query as a
+    delta-maintained server-side view at Setup (``"on"``; answers, QET and
+    transcripts stay byte-identical to the ``"off"`` rescans, only the
+    simulated work ledger moves -- see :mod:`repro.query.views`), and
     ``simulate_encryption`` runs every outsourced record through the real
     record cipher (into a contiguous ciphertext arena in fast mode, the
     per-record object store in reference mode).
@@ -242,6 +246,7 @@ class CellSpec:
     fleet_scenario: str = ""
     shard_executor: str = "threads"
     planner: str = "off"
+    views: str = "off"
     simulate_encryption: bool = False
     scenario_kwargs: tuple[tuple[str, float], ...] = ()
     cell_id: str = ""
@@ -253,6 +258,10 @@ class CellSpec:
             self, "shard_executor", resolve_shard_executor(self.shard_executor)
         )
         object.__setattr__(self, "planner", resolve_planner_mode(self.planner))
+        views = str(self.views).lower()
+        if views not in ("off", "on"):
+            raise ValueError(f"views must be 'off' or 'on', got {self.views!r}")
+        object.__setattr__(self, "views", views)
         if self.queries is not None:
             object.__setattr__(self, "queries", tuple(self.queries))
         object.__setattr__(
@@ -341,7 +350,11 @@ def supported_backend_queries(backend: str, queries: Sequence[Query]) -> list[Qu
     up front keeps the declared query set honest).
     """
     if backend.startswith("crypt"):
-        return [q for q in queries if not isinstance(q, JoinCountQuery)]
+        return [
+            q
+            for q in queries
+            if not isinstance(q, (JoinCountQuery, MultiJoinCountQuery))
+        ]
     return list(queries)
 
 
@@ -408,6 +421,7 @@ def run_cell(
         query_interval=spec.query_interval,
         horizon=spec.horizon,
         seed=spec.sim_seed,
+        views=spec.views,
     )
     if spec.n_shards > 1 or spec.planner == "on":
         # A planner-on cell always runs through a router (a one-shard router
@@ -470,6 +484,7 @@ _AXIS_FIELDS = frozenset(
         "n_shards",
         "fleet_scenario",
         "planner",
+        "views",
     }
 )
 
@@ -939,6 +954,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "the measured ledger; cell results are byte-identical either way",
     )
     parser.add_argument(
+        "--views",
+        default="off",
+        choices=["off", "on"],
+        help="delta-maintained server-side views for the covered query "
+        "fragment: registered at Setup, fed an O(|batch|) delta by every "
+        "sync, answering in O(1)/O(groups); answers, QET and transcripts "
+        "are byte-identical either way, only the simulated work ledger "
+        "moves",
+    )
+    parser.add_argument(
         "--simulate-encryption",
         action="store_true",
         help="run every outsourced record through the real record cipher "
@@ -965,6 +990,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             fleet_scenario=args.fleet_scenario,
             shard_executor=args.shard_executor,
             planner=args.planner,
+            views=args.views,
             simulate_encryption=args.simulate_encryption,
         ),
         base_seed=args.seed,

@@ -50,7 +50,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.edb.records import Record, Schema
-from repro.query.ast import Query
+from repro.query.ast import Query, WindowedCountQuery
 from repro.query.sql import parse_query
 from repro.workload.generator import (
     build_growing_database,
@@ -328,6 +328,61 @@ register_scenario(
         description="Extremely sparse events (1% occupancy, IoT-like)",
         builder=_build_sparse,
         queries=_event_queries(),
+    )
+)
+
+
+def _build_sessionized(
+    seed: int = 0,
+    scale: float = 1.0,
+    burst_probability: float = 0.02,
+    burst_length: int = 25,
+    base_horizon: int = 5_000,
+) -> dict[str, GrowingDatabase]:
+    """Bursty "session" arrivals for the windowed-count scenario.
+
+    Sessions are modeled as solid bursts separated by idle stretches (the
+    same generator as ``bursty``, tuned to shorter, more frequent sessions),
+    which makes windowed counts swing between zero and the full burst rate --
+    the shape that distinguishes a sliding window from a whole-history count.
+    """
+    horizon = _scaled_horizon(base_horizon, scale)
+    arrivals = bursty_arrivals(
+        horizon, burst_probability, burst_length, np.random.default_rng(seed)
+    )
+    return _single_table(_EVENT_SCHEMA, arrivals, seed)
+
+
+def _sessionized_queries() -> list[Query]:
+    """Whole-history counts plus sliding/tumbling windowed counts.
+
+    The windowed queries carry explicit labels: two
+    :class:`~repro.query.ast.WindowedCountQuery` instances otherwise share
+    the default name and would collide in per-query result keying.
+
+    Open experiment (leakage): the ``(t, |gamma|)`` update transcript is
+    produced by the owner's flush schedule, which is independent of the
+    analyst's window boundaries -- a window boundary never forces a flush,
+    so windowed queries add no new update-pattern leakage.  Whether the
+    *joint* distribution of (flush times, windowed answers) reveals more
+    about session boundaries than whole-history counts do is left open; the
+    grid axes here (window size vs. flush interval) are the knobs for that
+    study.
+    """
+    return _event_queries()() + [
+        WindowedCountQuery(table="Events", window=120, mode="sliding", label="QW1"),
+        WindowedCountQuery(table="Events", window=240, mode="tumbling", label="QW2"),
+    ]
+
+
+register_scenario(
+    Scenario(
+        name="sessionized",
+        description=(
+            "Short bursty sessions with sliding/tumbling windowed counts"
+        ),
+        builder=_build_sessionized,
+        queries=_sessionized_queries,
     )
 )
 
