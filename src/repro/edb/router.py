@@ -71,6 +71,7 @@ from repro.query.planner import (
     resolve_planner_mode,
 )
 from repro.query.scatter import (
+    drain_futures,
     join_count_from_histograms,
     join_side_probes,
     join_upper_bound,
@@ -116,6 +117,38 @@ def _release_router_resources(resources: dict) -> None:
         pool.shutdown(wait=False, cancel_futures=True)
     for client in resources.get("clients", ()):
         client.close()
+
+
+def _resolve_supervision(supervisor, faults):
+    """Normalize the router's ``(supervisor, faults)`` inputs.
+
+    Returns ``(SupervisorConfig | None, FaultSchedule | None)``.  A
+    non-empty fault schedule implies supervision with the default config --
+    injecting faults into an unsupervised fleet would just be crashing it.
+    Imports lazily so unsupervised routers never pay for the fleet modules.
+    """
+    schedule = None
+    if faults:
+        from repro.testing.chaos import FaultSchedule, parse_fault_schedule
+
+        schedule = (
+            faults if isinstance(faults, FaultSchedule) else parse_fault_schedule(faults)
+        )
+        if len(schedule) == 0:
+            schedule = None
+    config = None
+    if supervisor is not None and supervisor != "off":
+        from repro.fleet.supervisor import SupervisorConfig, resolve_supervisor_mode
+
+        if isinstance(supervisor, SupervisorConfig):
+            config = supervisor
+        elif resolve_supervisor_mode(supervisor) == "on":
+            config = SupervisorConfig()
+    if config is None and schedule is not None:
+        from repro.fleet.supervisor import SupervisorConfig
+
+        config = SupervisorConfig()
+    return config, schedule
 
 
 def resolve_shard_executor(executor: str) -> str:
@@ -178,11 +211,32 @@ class WallClockStats:
     per_shard_busy_seconds: dict[int, float] = field(default_factory=dict)
     serialization_seconds: float = 0.0
     worker_commands: int = 0
+    #: Supervisor health state (repro.fleet.supervisor): every counter stays
+    #: zero on an unsupervised (or fault-free, retry-free) fleet.  Retries,
+    #: rebuilds and replay only ever move *measured* wall clock -- simulated
+    #: QET and all protocol observables are recovery-invariant by contract.
+    recoveries: int = 0
+    retries: int = 0
+    replayed_batches: int = 0
+    recovery_seconds: float = 0.0
+    degraded_shards: int = 0
+    dropped_batches: int = 0
 
     @property
     def mean_query_seconds(self) -> float:
         """Mean measured wall clock per gathered query."""
         return self.query_seconds / self.query_calls if self.query_calls else 0.0
+
+    def health(self) -> dict:
+        """The supervisor health counters as a plain dict."""
+        return {
+            "recoveries": self.recoveries,
+            "retries": self.retries,
+            "replayed_batches": self.replayed_batches,
+            "recovery_seconds": self.recovery_seconds,
+            "degraded_shards": self.degraded_shards,
+            "dropped_batches": self.dropped_batches,
+        }
 
     def reset(self) -> None:
         """Zero all counters (benchmarks reset between phases)."""
@@ -195,6 +249,12 @@ class WallClockStats:
         self.per_shard_busy_seconds = {}
         self.serialization_seconds = 0.0
         self.worker_commands = 0
+        self.recoveries = 0
+        self.retries = 0
+        self.replayed_batches = 0
+        self.recovery_seconds = 0.0
+        self.degraded_shards = 0
+        self.dropped_batches = 0
 
 
 class ShardRouter:
@@ -225,6 +285,19 @@ class ShardRouter:
         observable-identical, see :meth:`explain`).  A pre-built
         :class:`~repro.query.planner.QueryPlanner` instance may be passed
         directly (e.g. with a plan-override hook for tests).
+    supervisor:
+        ``None``/``"off"`` (default) leaves shard failures terminal exactly
+        as before; ``"on"`` (or a pre-built
+        :class:`~repro.fleet.supervisor.SupervisorConfig`) wraps every
+        shard in the self-healing supervision layer: per-command deadlines,
+        deterministic retry/backoff, snapshot+replay rebuild of dead
+        workers, and the configured degradation policy.  Recovery is
+        observable-invisible by contract (``tests/test_chaos_recovery.py``).
+    faults:
+        Deterministic fault schedule (``kind[:shard]@N`` grid syntax, or a
+        pre-built :class:`~repro.testing.chaos.FaultSchedule`).  A
+        non-empty schedule implies supervision (default config) when
+        ``supervisor`` is off.
     """
 
     def __init__(
@@ -233,6 +306,8 @@ class ShardRouter:
         route_seed: int = 0,
         executor: str = "threads",
         planner: "str | QueryPlanner" = "off",
+        supervisor=None,
+        faults="",
     ) -> None:
         shards = list(shards)
         if not shards:
@@ -245,14 +320,51 @@ class ShardRouter:
             self._planner = QueryPlanner()
         else:
             self._planner = None
-        self._clients: list[ShardWorkerClient] = []
+        #: Measured ledger first: the supervisor wrappers built below share
+        #: it as their health sink.
+        self.measured = WallClockStats()
+        supervisor_config, fault_schedule = _resolve_supervision(supervisor, faults)
+        self._supervisor_meta = (
+            supervisor_config.to_meta() if supervisor_config is not None else None
+        )
+        self._supervisor = None
+        self._clients: list = []
         if self._executor == "processes":
             context = preferred_mp_context()
-            self._clients = [
-                ShardWorkerClient(shard, index, context)
+            timeout_s = (
+                supervisor_config.resolved_timeout()
+                if supervisor_config is not None
+                else None
+            )
+            raw_clients = [
+                ShardWorkerClient(shard, index, context, timeout_s=timeout_s)
                 for index, shard in enumerate(shards)
             ]
+            if supervisor_config is not None:
+                from repro.fleet.supervisor import ShardSupervisor
+
+                self._supervisor = ShardSupervisor(
+                    supervisor_config,
+                    fault_schedule,
+                    self._executor,
+                    self.measured,
+                    context=context,
+                )
+                self._clients = self._supervisor.wrap(raw_clients)
+            else:
+                self._clients = raw_clients
             self._shards: list = list(self._clients)
+        elif supervisor_config is not None:
+            from repro.fleet.supervisor import ShardSupervisor
+
+            self._supervisor = ShardSupervisor(
+                supervisor_config, fault_schedule, self._executor, self.measured
+            )
+            #: In-process wrappers report constant (0, 0, 0) worker stats, so
+            #: the delta absorption below skips them; they still live in the
+            #: resource box so close()/finalize tears down their scratch.
+            self._clients = self._supervisor.wrap(shards)
+            self._shards = list(self._clients)
         else:
             self._shards = shards
         #: Per-client (busy, overhead, commands) snapshots so measured stats
@@ -279,7 +391,6 @@ class ShardRouter:
         #: ordinals, and what the planner's shard pruning proves from.
         self._table_shard_counts: dict[str, list[int]] = {}
         self._update_history: list[UpdateResult] = []
-        self.measured = WallClockStats()
 
     # -- executor ------------------------------------------------------------
 
@@ -287,6 +398,16 @@ class ShardRouter:
     def shard_executor(self) -> str:
         """The configured fan-out executor (one of :data:`SHARD_EXECUTORS`)."""
         return self._executor
+
+    @property
+    def supervisor_mode(self) -> str:
+        """``"on"`` when shards run behind the self-healing supervisor."""
+        return "off" if self._supervisor_meta is None else "on"
+
+    @property
+    def supervisor(self):
+        """The :class:`~repro.fleet.supervisor.ShardSupervisor` (or ``None``)."""
+        return self._supervisor
 
     def _map(self, fn: Callable, items: Sequence) -> list:
         """Scatter ``fn`` over ``items``, gathering results in item order.
@@ -308,7 +429,12 @@ class ShardRouter:
                 thread_name_prefix="shard-router",
             )
             self._resources["pool"] = self._pool
-        return list(self._pool.map(fn, items))
+        # submit + drain (not Executor.map): when one shard call fails, the
+        # sibling calls are waited to completion before the error propagates,
+        # so no scatter thread is left blocked on a pipe or mid-mutation when
+        # the caller (or the supervisor) starts acting on the failure.
+        futures = [self._pool.submit(fn, item) for item in items]
+        return drain_futures(futures)
 
     def _absorb_worker_stats(self) -> None:
         """Fold worker-side counters accumulated since the last call into

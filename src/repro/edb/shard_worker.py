@@ -39,6 +39,7 @@ never silently merges partial answers.
 
 from __future__ import annotations
 
+import os
 import threading
 import time as _time
 from multiprocessing.connection import Connection
@@ -50,6 +51,7 @@ from repro.edb.crypto import (
     SharedCiphertextArena,
 )
 from repro.edb.records import Record
+from repro.util.mp import reap_process_segments
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.edb.base import EncryptedDatabase, QueryResult, UpdateResult
@@ -57,23 +59,94 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.edb.leakage import LeakageProfile
     from repro.query.ast import Query
 
-__all__ = ["ShardWorkerDied", "ShardWorkerClient", "shard_worker_main"]
+__all__ = [
+    "TransientShardError",
+    "ShardWorkerDied",
+    "ShardWorkerTimeout",
+    "ShardWorkerClient",
+    "shard_worker_main",
+    "default_shard_timeout",
+]
+
+#: Default per-command pipe deadline when ``REPRO_SHARD_TIMEOUT_S`` is unset.
+#: Generous -- a healthy worker answers in milliseconds; the deadline exists
+#: so a wedged or dead worker turns into a typed error instead of a hang.
+DEFAULT_SHARD_TIMEOUT_S: float = 60.0
 
 
-class ShardWorkerDied(RuntimeError):
+def default_shard_timeout() -> float:
+    """The configured per-command pipe deadline, in seconds.
+
+    Reads ``REPRO_SHARD_TIMEOUT_S`` (the single knob unifying *every* pipe
+    wait: command round-trips, shutdown handshakes, process joins); falls
+    back to :data:`DEFAULT_SHARD_TIMEOUT_S`.  A non-positive or malformed
+    value is a configuration error and raises immediately.
+    """
+    raw = os.environ.get("REPRO_SHARD_TIMEOUT_S")
+    if raw is None or not raw.strip():
+        return DEFAULT_SHARD_TIMEOUT_S
+    timeout = float(raw)
+    if timeout <= 0:
+        raise ValueError(f"REPRO_SHARD_TIMEOUT_S must be positive, got {raw!r}")
+    return timeout
+
+
+class TransientShardError(RuntimeError):
+    """A shard failure that is, in principle, recoverable by a supervisor.
+
+    The common base of :class:`ShardWorkerDied`, :class:`ShardWorkerTimeout`
+    and the chaos layer's injected faults: the shard's in-memory state must
+    be treated as lost, but a fresh shard rebuilt from the latest durable
+    snapshot plus the coordinator's replay journal can take its place
+    (:mod:`repro.fleet.supervisor`).  Anything *not* derived from this class
+    (protocol misuse, unsupported queries, integrity errors) propagates
+    through the supervisor untouched.
+    """
+
+    def __init__(self, shard_index: int, command: str, message: str) -> None:
+        self.shard_index = shard_index
+        self.command = command
+        super().__init__(message)
+
+
+class ShardWorkerDied(TransientShardError):
     """A shard worker process died while (or before) serving a command.
 
     Raised by the coordinator-side proxy instead of hanging on the closed
-    pipe; carries the shard index and the command that was in flight so a
-    failed scatter names its culprit.
+    pipe; carries the shard index, the command that was in flight and the
+    worker's exit code (``-signal`` for a kill, ``None`` when the process
+    had not yet been reaped) so a failed scatter names its culprit.
     """
 
-    def __init__(self, shard_index: int, command: str) -> None:
-        self.shard_index = shard_index
-        self.command = command
+    def __init__(
+        self, shard_index: int, command: str, exit_code: int | None = None
+    ) -> None:
+        self.exit_code = exit_code
+        exit_note = "" if exit_code is None else f" (exit code {exit_code})"
         super().__init__(
-            f"shard {shard_index} worker died during {command!r}; "
-            "its partial state is lost and the gathered result was discarded"
+            shard_index,
+            command,
+            f"shard {shard_index} worker died during {command!r}{exit_note}; "
+            "its partial state is lost and the gathered result was discarded",
+        )
+
+
+class ShardWorkerTimeout(TransientShardError):
+    """A shard worker missed its per-command reply deadline.
+
+    The worker may be wedged, mid-crash, or a chaos fault swallowed/delayed
+    the pipe message; either way its state is unknown, so the coordinator
+    treats it exactly like a death: the in-flight call fails loudly and a
+    supervisor (if any) discards the worker and rebuilds the shard.
+    """
+
+    def __init__(self, shard_index: int, command: str, timeout_s: float) -> None:
+        self.timeout_s = timeout_s
+        super().__init__(
+            shard_index,
+            command,
+            f"shard {shard_index} worker did not answer {command!r} within "
+            f"{timeout_s:g}s; its state is unknown and the call was abandoned",
         )
 
 
@@ -136,12 +209,34 @@ def shard_worker_main(conn: Connection, shard: "EncryptedDatabase", index: int) 
         shard.set_arena_factory(_shared_arena_factory)
         if getattr(shard, "_arenas", None):
             shard.rebuild_arenas()
+    # Chaos arming state (repro.testing.chaos): a "chaos_delay" command makes
+    # the worker sleep before serving the *next* real command (so the
+    # coordinator's reply deadline fires); a "chaos_drop" makes it swallow the
+    # next real command entirely -- received, never dispatched, never answered.
+    # Both leave the worker desynchronized on purpose: a supervisor treats the
+    # resulting timeout like a death and rebuilds the shard from its snapshot.
+    pending_delay_s = 0.0
+    drop_next_command = False
     try:
         while True:
             try:
                 command, args = conn.recv()
             except (EOFError, OSError):
                 break
+            if command == "chaos_delay":
+                (pending_delay_s,) = args
+                conn.send(("ok", None, 0.0))
+                continue
+            if command == "chaos_drop":
+                drop_next_command = True
+                conn.send(("ok", None, 0.0))
+                continue
+            if drop_next_command:
+                drop_next_command = False
+                continue
+            if pending_delay_s:
+                _time.sleep(pending_delay_s)
+                pending_delay_s = 0.0
             if command == "shutdown":
                 for table_arena in getattr(shard, "_arenas", {}).values():
                     table_arena.release()
@@ -223,11 +318,15 @@ class ShardWorkerClient:
         index: int,
         context,
         start: bool = True,
+        timeout_s: float | None = None,
     ) -> None:
         self.shard_index = index
         self.busy_seconds = 0.0
         self.overhead_seconds = 0.0
         self.commands = 0
+        # One deadline governs every pipe wait on this client: command
+        # round-trips, the shutdown handshake and process joins.
+        self._timeout_s = default_shard_timeout() if timeout_s is None else timeout_s
         self._lock = threading.Lock()
         self._arena_cache: ArenaSegmentCache | None = None
         self._cipher: RecordCipher | None = None
@@ -250,9 +349,18 @@ class ShardWorkerClient:
             started = _time.perf_counter()
             try:
                 self._conn.send((command, args))
+                if not self._conn.poll(self._timeout_s):
+                    # The worker is wedged (or a chaos fault ate the message).
+                    # Its state is unknown; a late reply would desynchronize
+                    # the pipe, so the proxy is poisoned until closed/replaced.
+                    raise ShardWorkerTimeout(
+                        self.shard_index, command, self._timeout_s
+                    )
                 status, payload, busy = self._conn.recv()
             except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
-                raise ShardWorkerDied(self.shard_index, command) from None
+                raise ShardWorkerDied(
+                    self.shard_index, command, exit_code=self._process.exitcode
+                ) from None
             wall = _time.perf_counter() - started
             self.busy_seconds += busy
             self.overhead_seconds += max(0.0, wall - busy)
@@ -275,7 +383,7 @@ class ShardWorkerClient:
             try:
                 with self._lock:
                     self._conn.send(("shutdown", ()))
-                    if self._conn.poll(5.0):
+                    if self._conn.poll(self._timeout_s):
                         self._conn.recv()
             except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
                 pass
@@ -283,10 +391,14 @@ class ShardWorkerClient:
             self._conn.close()
         except OSError:  # pragma: no cover - already closed
             pass
-        self._process.join(timeout=5.0)
+        self._process.join(timeout=self._timeout_s)
         if self._process.is_alive():  # pragma: no cover - stuck worker
             self._process.terminate()
-            self._process.join(timeout=5.0)
+            self._process.join(timeout=self._timeout_s)
+        if self._process.exitcode not in (0, None):
+            # The worker died (or was killed) before its shutdown handshake
+            # released its arenas; sweep the named segments it left behind.
+            reap_process_segments(self._process.pid)
 
     # -- protocol surface (what the router scatters) --------------------------
 
@@ -404,6 +516,16 @@ class ShardWorkerClient:
     def snapshot(self) -> bytes:
         """Worker-side :func:`repro.edb.store.snapshot_backend` bytes."""
         return self._call("snapshot")
+
+    # -- chaos hooks (deterministic fault injection) ---------------------------
+
+    def chaos_delay(self, seconds: float) -> None:
+        """Arm the worker to sleep ``seconds`` before its next real command."""
+        self._call("chaos_delay", seconds)
+
+    def chaos_drop(self) -> None:
+        """Arm the worker to swallow its next real command without replying."""
+        self._call("chaos_drop")
 
     def rotate_key(self, new_key: bytes | None = None) -> None:
         """Re-key the worker's shard in place (arena rows stay addressable).

@@ -12,6 +12,11 @@ This package scales that shape out horizontally:
 * Queries go through one fleet-level analyst: ground truth is the union of
   the members' logical databases (plus any externally registered table
   sources), and sharded back-ends answer by scatter-gather.
+* :class:`~repro.fleet.supervisor.ShardSupervisor` makes the shard fleet
+  self-healing: per-command deadlines, bounded deterministic retry, and
+  snapshot+replay-log worker recovery that is byte-invisible in every
+  paper-level observable (see :mod:`repro.testing.chaos` for the matching
+  deterministic fault-injection layer).
 
 The single-table :class:`~repro.core.framework.DPSync` facade is a thin
 ``n_owners=1`` deployment; the fleet differential tests pin that wrapper
@@ -19,5 +24,17 @@ bit-identical to the paper's single-owner runs.
 """
 
 from repro.fleet.deployment import Deployment
+from repro.fleet.supervisor import (
+    ShardSupervisor,
+    SupervisedShard,
+    SupervisorConfig,
+    resolve_supervisor_mode,
+)
 
-__all__ = ["Deployment"]
+__all__ = [
+    "Deployment",
+    "ShardSupervisor",
+    "SupervisedShard",
+    "SupervisorConfig",
+    "resolve_supervisor_mode",
+]

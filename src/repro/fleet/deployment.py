@@ -338,6 +338,25 @@ class Deployment:
         """
         return getattr(self._edb, "measured", None)
 
+    @property
+    def health(self) -> dict | None:
+        """Recovery/degradation health of the shared EDB's shard fleet.
+
+        A dict of the supervised router's health counters (``recoveries``,
+        ``retries``, ``replayed_batches``, ``recovery_seconds``,
+        ``degraded_shards``, ``dropped_batches`` -- see
+        :meth:`repro.edb.router.WallClockStats.health`), or ``None`` for a
+        plain back-end with no measured ledger.  All counters stay zero on
+        an unsupervised router; recoveries never show up anywhere else
+        because healed shards are byte-invisible in the paper-level
+        observables.
+        """
+        measured = getattr(self._edb, "measured", None)
+        if measured is None:
+            return None
+        health = getattr(measured, "health", None)
+        return health() if callable(health) else None
+
     def explain(self, query) -> dict | None:
         """Planner report for the most recent run of ``query``.
 

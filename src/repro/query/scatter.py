@@ -55,6 +55,7 @@ __all__ = [
     "multi_join_probes",
     "ordered_join_probes",
     "scatter_map",
+    "drain_futures",
 ]
 
 _T = TypeVar("_T")
@@ -78,6 +79,32 @@ def scatter_map(
     if executor_map is None or len(items) <= 1:
         return [fn(item) for item in items]
     return executor_map(fn, items)
+
+
+def drain_futures(futures: Sequence) -> list:
+    """Gather every scatter future, then raise the first failure (if any).
+
+    The fan-out failure-propagation contract: when one shard call raises
+    (e.g. :class:`~repro.edb.shard_worker.ShardWorkerDied` from a killed
+    worker), the sibling calls are *drained* -- waited to completion --
+    before the error propagates, instead of being abandoned mid-pipe the
+    way a bare ``Executor.map`` would.  That guarantees no scatter thread
+    is still touching a shard or its pipe when the caller starts recovery
+    or teardown, and it makes the raised error deterministic: the first
+    failure in item (shard) order, not in wall-clock completion order.
+    """
+    error: BaseException | None = None
+    results: list = []
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BaseException as exc:  # noqa: BLE001 - re-raised after drain
+            if error is None:
+                error = exc
+            results.append(None)
+    if error is not None:
+        raise error
+    return results
 
 
 def merge_scalar_counts(parts: Sequence[int | float]) -> int | float:

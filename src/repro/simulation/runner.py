@@ -136,6 +136,8 @@ def make_sharded_backend(
     ciphertext_store: str | None = None,
     shard_executor: str = "threads",
     planner: str = "off",
+    supervisor: str = "off",
+    faults: str = "",
 ) -> Callable[[], ShardRouter]:
     """A factory for a :class:`~repro.edb.router.ShardRouter` over ``n_shards``
     independent back-end instances.
@@ -150,6 +152,11 @@ def make_sharded_backend(
     byte-identical in every case).  ``planner="on"`` routes queries through
     the cost-based scatter planner (:mod:`repro.query.planner`) -- again
     byte-identical in every observable, only wall clock moves.
+    ``supervisor="on"`` wraps every shard in the self-healing supervisor
+    (:mod:`repro.fleet.supervisor`: snapshot + replay-log recovery), and
+    ``faults`` injects a deterministic fault schedule
+    (:func:`repro.testing.chaos.parse_fault_schedule` syntax) -- recovery is
+    byte-invisible in answers, QET, noise flags and transcripts.
     """
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
@@ -175,7 +182,12 @@ def make_sharded_backend(
                 )()
             )
         return ShardRouter(
-            shards, route_seed=seed, executor=shard_executor, planner=planner
+            shards,
+            route_seed=seed,
+            executor=shard_executor,
+            planner=planner,
+            supervisor=supervisor,
+            faults=faults,
         )
 
     return build
@@ -221,6 +233,15 @@ class CellSpec:
     ``simulate_encryption`` runs every outsourced record through the real
     record cipher (into a contiguous ciphertext arena in fast mode, the
     per-record object store in reference mode).
+
+    Robustness fields: ``supervisor="on"`` wraps every shard in the
+    self-healing supervisor (:mod:`repro.fleet.supervisor` -- per-command
+    deadlines, bounded deterministic retry, snapshot+replay-log worker
+    recovery), and ``faults`` injects a deterministic fault schedule in
+    :func:`repro.testing.chaos.parse_fault_schedule` syntax (a non-empty
+    schedule implies supervision).  Recovery is byte-invisible in every
+    paper-level observable; only measured wall clock and the health
+    counters move.
     """
 
     strategy: str
@@ -247,6 +268,8 @@ class CellSpec:
     shard_executor: str = "threads"
     planner: str = "off"
     views: str = "off"
+    supervisor: str = "off"
+    faults: str = ""
     simulate_encryption: bool = False
     scenario_kwargs: tuple[tuple[str, float], ...] = ()
     cell_id: str = ""
@@ -262,6 +285,20 @@ class CellSpec:
         if views not in ("off", "on"):
             raise ValueError(f"views must be 'off' or 'on', got {self.views!r}")
         object.__setattr__(self, "views", views)
+        supervisor = str(self.supervisor).lower()
+        if supervisor not in ("off", "on"):
+            raise ValueError(
+                f"supervisor must be 'off' or 'on', got {self.supervisor!r}"
+            )
+        object.__setattr__(self, "supervisor", supervisor)
+        faults = str(self.faults or "")
+        if faults:
+            from repro.testing.chaos import parse_fault_schedule
+
+            # Validate (and normalize) the schedule syntax at cell-build
+            # time so a malformed --faults axis fails before any cell runs.
+            faults = parse_fault_schedule(faults).spec()
+        object.__setattr__(self, "faults", faults)
         if self.queries is not None:
             object.__setattr__(self, "queries", tuple(self.queries))
         object.__setattr__(
@@ -423,11 +460,17 @@ def run_cell(
         seed=spec.sim_seed,
         views=spec.views,
     )
-    if spec.n_shards > 1 or spec.planner == "on":
-        # A planner-on cell always runs through a router (a one-shard router
-        # is byte-identical to the plain back-end, so K=1 planner cells stay
-        # comparable to their unsharded twins while exercising the planner's
-        # executor choice).
+    if (
+        spec.n_shards > 1
+        or spec.planner == "on"
+        or spec.supervisor == "on"
+        or spec.faults
+    ):
+        # A planner-on (or supervised / fault-injected) cell always runs
+        # through a router (a one-shard router is byte-identical to the
+        # plain back-end, so K=1 cells stay comparable to their unsharded
+        # twins while exercising the planner's executor choice or the
+        # supervisor's recovery path).
         edb_factory: Callable[[], EncryptedDatabase] = make_sharded_backend(
             spec.backend,
             spec.n_shards,
@@ -437,6 +480,8 @@ def run_cell(
             simulate_encryption=spec.simulate_encryption,
             shard_executor=spec.shard_executor,
             planner=spec.planner,
+            supervisor=spec.supervisor,
+            faults=spec.faults,
         )
     else:
         edb_factory = make_backend(
@@ -485,6 +530,8 @@ _AXIS_FIELDS = frozenset(
         "fleet_scenario",
         "planner",
         "views",
+        "supervisor",
+        "faults",
     }
 )
 
@@ -964,6 +1011,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         "moves",
     )
     parser.add_argument(
+        "--supervisor",
+        default="off",
+        choices=["off", "on"],
+        help="self-healing shard supervision: per-command deadlines, bounded "
+        "deterministic retry, and snapshot+replay-log worker recovery; cell "
+        "results are byte-identical either way, only measured wall clock "
+        "and the health counters move",
+    )
+    parser.add_argument(
+        "--faults",
+        default="",
+        help="deterministic fault schedule, comma-separated kind[:shard]@N "
+        "terms (kinds: kill delay drop raise lostshm tornsnap), e.g. "
+        "'kill:1@3,raise@5'; implies --supervisor on",
+    )
+    parser.add_argument(
         "--simulate-encryption",
         action="store_true",
         help="run every outsourced record through the real record cipher "
@@ -991,6 +1054,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             shard_executor=args.shard_executor,
             planner=args.planner,
             views=args.views,
+            supervisor=args.supervisor,
+            faults=args.faults,
             simulate_encryption=args.simulate_encryption,
         ),
         base_seed=args.seed,

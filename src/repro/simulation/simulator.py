@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 from dataclasses import dataclass, field
@@ -56,6 +57,8 @@ from repro.simulation.results import QueryTrace, RunResult, TimePoint
 from repro.workload.stream import GrowingDatabase
 
 __all__ = ["SimulationConfig", "Simulation", "derive_schema"]
+
+logger = logging.getLogger(__name__)
 
 
 def derive_schema(stream: str, workload: GrowingDatabase) -> Schema:
@@ -456,6 +459,26 @@ class Simulation:
         result.total_update_volume = sum(
             o.update_pattern.total_volume() for o in ctx.owners.values()
         )
+        # Surface shard-recovery activity (a supervised router's measured
+        # ledger): recoveries are byte-invisible in the result itself, so a
+        # run that healed mid-flight says so in the log rather than nowhere.
+        measured = getattr(ctx.edb, "measured", None)
+        if measured is not None:
+            health = getattr(measured, "health", None)
+            if callable(health):
+                report = health()
+                if report.get("recoveries") or report.get("degraded_shards"):
+                    logger.info(
+                        "shard fleet healed during run: %d recoveries "
+                        "(%d retries, %d batches replayed, %.3fs), "
+                        "%d shard(s) degraded (%d batches dropped)",
+                        report.get("recoveries", 0),
+                        report.get("retries", 0),
+                        report.get("replayed_batches", 0),
+                        report.get("recovery_seconds", 0.0),
+                        report.get("degraded_shards", 0),
+                        report.get("dropped_batches", 0),
+                    )
         return result
 
     def _observe(self, time: int, ctx: _RunContext) -> None:

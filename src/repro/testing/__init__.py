@@ -1,0 +1,27 @@
+"""Test-harness infrastructure that ships with the library.
+
+:mod:`repro.testing.chaos` is the deterministic fault-injection layer the
+shard supervisor (:mod:`repro.fleet.supervisor`) consumes: seeded, replayable
+fault schedules that turn every crash-recovery path into a differential test
+case instead of an anecdote.
+"""
+
+from repro.testing.chaos import (
+    FAULT_KINDS,
+    PROCESS_ONLY_KINDS,
+    ChaosWorkerFault,
+    Fault,
+    FaultSchedule,
+    parse_fault_schedule,
+    random_fault_schedule,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "PROCESS_ONLY_KINDS",
+    "ChaosWorkerFault",
+    "Fault",
+    "FaultSchedule",
+    "parse_fault_schedule",
+    "random_fault_schedule",
+]

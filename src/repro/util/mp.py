@@ -13,7 +13,12 @@ import multiprocessing
 import os
 from multiprocessing import shared_memory
 
-__all__ = ["preferred_mp_context", "usable_cpus", "attach_shared_memory"]
+__all__ = [
+    "preferred_mp_context",
+    "usable_cpus",
+    "attach_shared_memory",
+    "reap_process_segments",
+]
 
 
 def preferred_mp_context(
@@ -77,3 +82,37 @@ def attach_shared_memory(
             except Exception:
                 pass
         return segment
+
+
+def reap_process_segments(pid: int) -> int:
+    """Unlink every arena segment a (dead) worker process left behind.
+
+    Arena segment names embed the creating pid
+    (``repro-arena-<pid>-...``), so a coordinator can sweep a SIGKILLed
+    worker's segments by name.  The killed worker never ran its release
+    path, and with the fork start method its resource-tracker registrations
+    live in a tracker shared with the coordinator -- which only reaps at
+    *coordinator* exit, far too late for a long-lived fleet that keeps
+    respawning workers.  Unlinking removes the names immediately; any
+    coordinator-side attachment still holding a mapping stays readable
+    until it is closed (POSIX shm semantics).
+
+    Returns the number of segments unlinked.  Callers must only pass the
+    pid of a process known to be dead.  No-op on platforms without a
+    ``/dev/shm`` filesystem (segments then die with the tracker).
+    """
+    shm_root = "/dev/shm"
+    prefix = f"repro-arena-{int(pid)}-"
+    try:
+        names = os.listdir(shm_root)
+    except OSError:  # pragma: no cover - non-Linux
+        return 0
+    reaped = 0
+    for entry in names:
+        if entry.startswith(prefix):
+            try:
+                os.unlink(os.path.join(shm_root, entry))
+                reaped += 1
+            except OSError:  # pragma: no cover - raced with the tracker
+                pass
+    return reaped

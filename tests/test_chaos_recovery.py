@@ -1,0 +1,225 @@
+"""Headline chaos differentials: recovery is byte-invisible in every
+paper-level observable.
+
+For every fault schedule, at K in {1, 2, 4} shards, on both back-ends
+(ObliDB exact answers, Crypt-epsilon L-DP noise), a supervised run that
+crashes and heals mid-flight produces *byte-identical* results to a
+fault-free unsupervised twin: update results, query answers, QET, noise
+flags, and the aggregate and per-shard ``(t, |γ|)`` update-pattern
+transcripts.  The recovery cost is visible only in the measured wall-clock
+ledger's health counters.
+
+The L-DP back-end is the sharp half of the differential: it consumes one
+RNG draw per query, so recovery must replay *queries* (not just ingests)
+to advance the rebuilt noise stream exactly as far as the dead shard's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.edb.router import ShardRouter
+from repro.edb.records import Record
+from repro.fleet.supervisor import SupervisorConfig
+from repro.query.ast import CountQuery
+from repro.simulation.runner import CellSpec, make_backend
+from repro.testing.chaos import parse_fault_schedule, random_fault_schedule
+
+QUERY = CountQuery(table="events", label="Q1")
+
+#: Fast chaos policy: short pipe deadline (the delay/drop kinds wait it
+#: out) and near-zero backoff so the differential runs in seconds.
+CHAOS_CONFIG = SupervisorConfig(timeout_s=2.0, backoff_base_s=0.01)
+
+BACKENDS = ("oblidb", "crypte")
+
+
+def _records(n: int, start: int = 0, time: int = 0) -> list[Record]:
+    return [
+        Record(
+            values={"key": (start + i) % 7, "value": start + i},
+            arrival_time=time,
+            table="events",
+        )
+        for i in range(n)
+    ]
+
+
+def _router(
+    backend: str,
+    n_shards: int,
+    executor: str = "serial",
+    supervisor=None,
+    faults: str = "",
+    simulate_encryption: bool = False,
+) -> ShardRouter:
+    shards = [
+        make_backend(
+            backend, seed=40 + index, simulate_encryption=simulate_encryption
+        )()
+        for index in range(n_shards)
+    ]
+    return ShardRouter(
+        shards,
+        route_seed=9,
+        executor=executor,
+        supervisor=supervisor,
+        faults=faults,
+    )
+
+
+def _drive(router: ShardRouter, ticks: int = 5):
+    """Setup + ``ticks`` update/query rounds; every observable, verbatim."""
+    observed = []
+    setup = router.setup(_records(10, time=0))
+    observed.append(
+        (
+            "setup",
+            setup.time,
+            setup.records_added,
+            setup.dummies_added,
+            setup.bytes_added,
+        )
+    )
+    for t in range(1, ticks + 1):
+        update = router.update(_records(3, start=10 + 3 * t, time=t), t)
+        result = router.query(QUERY, time=t)
+        observed.append(
+            (
+                t,
+                update.records_added,
+                update.dummies_added,
+                update.bytes_added,
+                result.query_name,
+                result.answer,
+                result.qet_seconds,
+                result.records_scanned,
+                result.noise_injected,
+            )
+        )
+    transcripts = (tuple(router.update_history), router.per_shard_observables())
+    return observed, transcripts
+
+
+def _differential(backend, n_shards, faults, executor="serial", **router_kwargs):
+    reference = _router(backend, n_shards, executor=executor, **router_kwargs)
+    chaotic = _router(
+        backend,
+        n_shards,
+        executor=executor,
+        supervisor=CHAOS_CONFIG,
+        faults=faults,
+        **router_kwargs,
+    )
+    try:
+        assert _drive(chaotic) == _drive(reference)
+    finally:
+        health = chaotic.measured.health()
+        reference.close()
+        chaotic.close()
+    return health
+
+
+# -- the headline grid ---------------------------------------------------------
+
+_SCHEDULES = {
+    1: "raise@2,tornsnap@5",
+    2: "raise:1@2,tornsnap:0@4",
+    4: "raise:3@2,tornsnap:1@3,raise:0@5,tornsnap:2@6",
+}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("n_shards", sorted(_SCHEDULES))
+def test_recovery_is_byte_invisible_across_k_and_backends(backend, n_shards):
+    """K in {1, 2, 4} x {ObliDB, Crypt-epsilon}: every observable of a
+    crashed-and-healed run equals the fault-free twin's, bit for bit."""
+    health = _differential(backend, n_shards, _SCHEDULES[n_shards])
+    expected = len(parse_fault_schedule(_SCHEDULES[n_shards]))
+    assert health["recoveries"] == expected
+    assert health["degraded_shards"] == 0
+    assert health["replayed_batches"] > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_all_six_fault_kinds_heal_on_the_process_executor(backend):
+    """One run through every fault kind -- kill, delay, drop, lostshm,
+    raise, tornsnap -- against persistent worker processes with real
+    shared-memory arenas; still byte-identical to the fault-free twin."""
+    faults = "delay:0@2,kill:1@3,drop:1@4,lostshm:0@5,raise:1@6,tornsnap:0@7"
+    health = _differential(
+        backend,
+        2,
+        faults,
+        executor="processes",
+        simulate_encryption=True,
+    )
+    assert health["recoveries"] == 6
+    assert health["degraded_shards"] == 0
+
+
+def test_process_only_kinds_are_skipped_in_process_less_executors():
+    """kill/delay/drop/lostshm need a worker process; on threads they are
+    silently skipped while raise/tornsnap still fire and heal."""
+    faults = "kill:0@2,delay:1@3,drop:0@4,lostshm:1@5,raise:1@6,tornsnap:0@7"
+    health = _differential("oblidb", 2, faults, executor="threads")
+    assert health["recoveries"] == 2  # raise + tornsnap only
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_supervision_without_faults_is_free_of_observable_effects(backend):
+    """supervisor='on' with no faults: byte-identical results and an
+    all-zero health ledger (the <= 1.05x wall-clock overhead companion is
+    pinned by benchmarks/bench_faults.py)."""
+    reference = _router(backend, 2, executor="serial")
+    supervised = _router(backend, 2, executor="serial", supervisor="on")
+    try:
+        assert _drive(supervised) == _drive(reference)
+        health = supervised.measured.health()
+        assert health == {
+            "recoveries": 0,
+            "retries": 0,
+            "replayed_batches": 0,
+            "recovery_seconds": 0.0,
+            "degraded_shards": 0,
+            "dropped_batches": 0,
+        }
+    finally:
+        reference.close()
+        supervised.close()
+
+
+# -- schedule plumbing ---------------------------------------------------------
+
+
+def test_random_fault_schedule_replays_from_the_seed():
+    first = random_fault_schedule(seed=42, n_shards=4, n_faults=5)
+    second = random_fault_schedule(seed=42, n_shards=4, n_faults=5)
+    assert first.spec() == second.spec()
+    assert random_fault_schedule(seed=43, n_shards=4, n_faults=5).spec() != first.spec()
+    for fault in first.pending:
+        assert 0 <= fault.shard < 4
+        assert fault.at_command >= 1
+
+
+def test_fault_schedule_grid_syntax_round_trips():
+    schedule = parse_fault_schedule(" kill:1@3 , raise@5 ,tornsnap:2@1")
+    assert schedule.spec() == "kill:1@3,raise@5,tornsnap:2@1"
+    assert parse_fault_schedule("").spec() == ""
+    with pytest.raises(ValueError):
+        parse_fault_schedule("kill:1")  # missing @<command>
+    with pytest.raises(ValueError):
+        parse_fault_schedule("explode@3")  # unknown kind
+    with pytest.raises(ValueError):
+        parse_fault_schedule("kill@0")  # at_command is 1-based
+
+
+def test_cellspec_validates_the_robustness_axes():
+    base = dict(strategy="dp-timer", backend="oblidb", scenario="taxi-yellow")
+    cell = CellSpec(**base, supervisor="ON", faults=" raise@2 , kill:1@3 ")
+    assert cell.supervisor == "on"
+    assert cell.faults == "raise@2,kill:1@3"
+    with pytest.raises(ValueError):
+        CellSpec(**base, supervisor="maybe")
+    with pytest.raises(ValueError):
+        CellSpec(**base, faults="bogus@")

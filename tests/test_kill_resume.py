@@ -124,6 +124,67 @@ def test_sigkilled_worker_deployment_restores_bit_identically(tmp_path, passphra
         twin.close()
 
 
+def test_supervised_worker_kill_heals_in_place_and_restores_with_views(tmp_path):
+    """Kill a *supervised* shard worker mid-run: the fleet heals in place --
+    no restore, no raised error -- and the tail matches an uninterrupted
+    unsupervised twin on answers, QET, and the aggregate and per-shard
+    transcripts, with a delta-maintained view registered on both sides.
+    A mid-run snapshot taken *before* the kill then restores a deployment
+    whose router re-registers the view and re-arms the supervisor."""
+
+    def build(supervised: bool) -> Deployment:
+        router = ShardRouter(
+            [
+                ObliDB(
+                    rng=np.random.default_rng(60 + index), simulate_encryption=True
+                )
+                for index in range(2)
+            ],
+            route_seed=9,
+            executor="processes",
+            supervisor="on" if supervised else None,
+        )
+        deployment = Deployment.build(
+            SCHEMA, router, n_owners=2, strategy="dp-timer", period=5, seed=21
+        )
+        deployment.start(
+            {name: [_record(0, salt=i)] for i, name in enumerate(deployment.owners)}
+        )
+        deployment.edb.register_view(QUERY)
+        return deployment
+
+    twin = build(supervised=False)
+    victim = build(supervised=True)
+    try:
+        assert _drive(victim, 1, 9) == _drive(twin, 1, 9)
+
+        victim.save(tmp_path / "snap")
+
+        # SIGKILL one worker; the next fan-out heals it from the
+        # supervisor's own snapshot + journal instead of raising.
+        victim.edb.shards[0].process.kill()
+        victim.edb.shards[0].process.join(timeout=5.0)
+
+        assert _drive(victim, 9, 17) == _drive(twin, 9, 17)
+        assert _transcripts(victim) == _transcripts(twin)
+        assert victim.health["recoveries"] >= 1
+        assert victim.health["degraded_shards"] == 0
+    finally:
+        victim.close()
+
+    restored = Deployment.restore(tmp_path / "snap")
+    try:
+        # The restore path re-registered the view and re-armed supervision.
+        assert restored.edb.supervisor_mode == "on"
+        assert restored.edb.registered_views == (QUERY,)
+        twin_tail = _drive(twin, 17, 25)
+        assert _drive(restored, 9, 25)[2:] == twin_tail
+        assert _transcripts(restored) == _transcripts(twin)
+    finally:
+        restored.close()
+        twin.close()
+
+
 def test_wrong_passphrase_fails_closed(tmp_path):
     deployment = _build_deployment(executor="serial")
     try:

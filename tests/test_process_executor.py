@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import logging
 import os
+import signal
 
 import numpy as np
 import pytest
@@ -74,10 +75,15 @@ def test_killed_worker_raises_shard_worker_died_without_hanging():
         assert excinfo.value.command == "attr"
         assert "shard 1" in str(excinfo.value)
         assert "'attr'" in str(excinfo.value)
+        # The error carries the dead worker's exit code (SIGKILL = -9) so a
+        # crash is distinguishable from an OOM kill or a clean exit.
+        assert excinfo.value.exit_code == -signal.SIGKILL
+        assert "exit code" in str(excinfo.value)
         # Talking to the dead shard directly names the protocol command.
         with pytest.raises(ShardWorkerDied) as direct:
             victim.query(CountQuery(table="events", label="Q1"), time=2)
         assert direct.value.command == "query"
+        assert direct.value.exit_code == -signal.SIGKILL
         # The surviving worker is still responsive; the router as a whole
         # keeps failing loudly rather than silently gathering partials.
         assert router.shards[0].is_setup
